@@ -1,0 +1,77 @@
+"""Ablation — promiscuous overhearing (Section 7.2, the paper's future-work
+optimization) and the gossip-flood advertise variant (Section 4.4).
+
+Overhearing widens a lookup walk's effective quorum to its one-hop
+neighborhood, so the same hit ratio needs a far shorter walk.  The
+gossip-flood advertise is a membership-free uniform-random quorum whose
+per-access cost is a full-network flood.
+"""
+
+import math
+
+from conftest import N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+
+from repro.core import GossipFloodStrategy, RandomStrategy, UniquePathStrategy
+from repro.experiments import (
+    format_table,
+    make_membership,
+    make_network,
+    run_scenario,
+)
+
+
+def run_overhearing():
+    results = {}
+    qa = max(1, round(2.0 * math.sqrt(N_DEFAULT)))
+    ql = max(1, round(1.15 * math.sqrt(N_DEFAULT)))
+    for overhearing in (False, True):
+        net = make_network(N_DEFAULT, seed=3)
+        membership = make_membership(net, "random")
+        stats = run_scenario(
+            net,
+            advertise_strategy=RandomStrategy(membership),
+            lookup_strategy=UniquePathStrategy(overhearing=overhearing),
+            advertise_size=qa, lookup_size=ql,
+            n_keys=N_KEYS, n_lookups=N_LOOKUPS, seed=4)
+        results[overhearing] = stats
+    return results
+
+
+def run_gossip():
+    qa = max(1, round(2.0 * math.sqrt(N_DEFAULT)))
+    ql = max(1, round(1.15 * math.sqrt(N_DEFAULT)))
+    net = make_network(N_DEFAULT, seed=5)
+    return run_scenario(
+        net,
+        advertise_strategy=GossipFloodStrategy(),
+        lookup_strategy=UniquePathStrategy(),
+        advertise_size=qa, lookup_size=ql,
+        n_keys=N_KEYS, n_lookups=N_LOOKUPS, seed=6)
+
+
+def test_ablation_overhearing(benchmark, record):
+    results = benchmark.pedantic(run_overhearing, rounds=1, iterations=1)
+    off, on = results[False], results[True]
+    text = format_table(
+        ["overhearing", "hit ratio", "msgs/lookup", "walk quorum"],
+        [("off", off.hit_ratio, off.avg_lookup_messages,
+          sum(off.lookup_quorum_sizes) / max(1, len(off.lookup_quorum_sizes))),
+         ("on", on.hit_ratio, on.avg_lookup_messages,
+          sum(on.lookup_quorum_sizes) / max(1, len(on.lookup_quorum_sizes)))])
+    record("ablation_overhearing", f"Section 7.2 overhearing\n{text}")
+    # Overhearing must not hurt the hit ratio and shortens walks.
+    assert on.hit_ratio >= off.hit_ratio - 0.05
+    assert on.avg_lookup_messages <= off.avg_lookup_messages
+
+
+def test_gossip_flood_advertise(benchmark, record):
+    stats = benchmark.pedantic(run_gossip, rounds=1, iterations=1)
+    text = format_table(
+        ["advertise", "lookup", "hit ratio", "adv msgs", "lookup msgs"],
+        [("GOSSIP-FLOOD", "UNIQUE-PATH", stats.hit_ratio,
+          stats.avg_advertise_messages, stats.avg_lookup_messages)])
+    record("ablation_gossip_flood", f"Section 4.4 gossip advertise\n{text}")
+    # Uniform-random membership-free advertise: mix-and-match holds.
+    assert stats.hit_ratio >= 0.8
+    # Cost profile: a whole-network flood per advertise.
+    assert stats.avg_advertise_messages >= 0.6 * N_DEFAULT

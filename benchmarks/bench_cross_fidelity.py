@@ -1,0 +1,81 @@
+"""Cross-fidelity bench: the same strategy mix over the packet-level stack
+(real CSMA/CA + AODV) and the graph-level simulator, on the same topology.
+
+This validates that the graph-level results carried through the figure
+benches are faithful: hit ratios must agree and message counts must be in
+the same ballpark (the packet level also pays MAC acks and retries).
+"""
+
+import random
+
+from conftest import record_result
+
+from repro.core import RandomStrategy, UniquePathStrategy
+from repro.experiments import format_table
+from repro.simnet import NetworkConfig, SimNetwork
+from repro.stack import AdhocStack, PacketQuorumNetwork, StackConfig
+
+N = 25
+KEYS = 5
+LOOKUPS = 12
+
+
+class _OracleMembership:
+    def __init__(self, net):
+        self.net = net
+
+    def sample_for(self, node_id, k, rng):
+        pool = [v for v in self.net.alive_nodes() if v != node_id]
+        return rng.sample(pool, min(k, len(pool)))
+
+
+def run_over(net, seed=3):
+    adv = RandomStrategy(_OracleMembership(net), rng=random.Random(seed))
+    lookup = UniquePathStrategy(rng=random.Random(seed + 1))
+    rng = random.Random(seed + 2)
+    stores = {}
+    for i in range(KEYS):
+        stored = set()
+        origin = net.random_alive_node(rng)
+        adv.advertise(net, origin, stored.add, target_size=9)
+        stores[i] = stored
+    hits = 0
+    messages = 0
+    for i in range(LOOKUPS):
+        key = i % KEYS
+        looker = net.random_alive_node(rng)
+        result = lookup.lookup(
+            net, looker, lambda v, s=stores[key]: "x" if v in s else None,
+            target_size=7)
+        hits += bool(result.found and result.success)
+        messages += result.messages
+    return hits / LOOKUPS, messages / LOOKUPS
+
+
+def run_both():
+    stack = AdhocStack(StackConfig(n=N, avg_degree=10, seed=9))
+    packet_net = PacketQuorumNetwork(stack)
+    packet_net.advance(11.0)
+    positions = [stack.env.position_of(i) for i in range(N)]
+
+    graph_net = SimNetwork(
+        NetworkConfig(n=N, avg_degree=10, seed=9, require_connected=False),
+        positions=positions)
+
+    packet = run_over(packet_net)
+    graph = run_over(graph_net)
+    return packet, graph
+
+
+def test_cross_fidelity_agreement(benchmark, record):
+    (p_hit, p_msgs), (g_hit, g_msgs) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+    text = format_table(
+        ["substrate", "hit ratio", "msgs/lookup"],
+        [("packet level (MAC+AODV)", p_hit, p_msgs),
+         ("graph level (protocol model)", g_hit, g_msgs)])
+    record("cross_fidelity", f"Same topology, same strategies\n{text}")
+    # Identical topology and strategy mix: hit ratios agree closely.
+    assert abs(p_hit - g_hit) <= 0.25
+    # Message counts in the same ballpark (packet level may pay retries).
+    assert 0.3 * g_msgs <= p_msgs <= 4.0 * max(g_msgs, 1.0)

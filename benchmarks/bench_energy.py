@@ -1,0 +1,65 @@
+"""Energy comparison of lookup strategies (Section 4.4's energy argument).
+
+The paper argues broadcast-based access is less energy efficient: floods
+are sent at the low broadcast rate and wake every node in range (and
+disable 802.11 PSM sleeping).  This bench measures total radio energy per
+lookup for UNIQUE-PATH (unicast walk) vs FLOODING at matched hit ratios.
+"""
+
+import math
+import random
+
+from conftest import N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+
+from repro.core import (
+    FloodingStrategy,
+    ProbabilisticBiquorum,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.experiments import format_table, make_membership, make_network
+
+
+def measure(lookup_strategy, seed=7):
+    net = make_network(N_DEFAULT, seed=seed)
+    membership = make_membership(net, "random")
+    qa = max(1, round(2 * math.sqrt(N_DEFAULT)))
+    ql = max(1, round(1.15 * math.sqrt(N_DEFAULT)))
+    bq = ProbabilisticBiquorum(
+        net, advertise=RandomStrategy(membership),
+        lookup=lookup_strategy, advertise_size=qa, lookup_size=ql,
+        adjust_to_network_size=False)
+    rng = random.Random(seed + 1)
+    stores = []
+    for _ in range(N_KEYS):
+        stored = set()
+        bq.write(net.random_alive_node(rng), stored.add)
+        stores.append(stored)
+    energy_before = net.energy.total
+    hits = 0
+    for i in range(N_LOOKUPS):
+        stored = stores[i % N_KEYS]
+        res = bq.read(net.random_alive_node(rng),
+                      lambda v, s=stored: "x" if v in s else None)
+        hits += bool(res.found)
+    energy = (net.energy.total - energy_before) / N_LOOKUPS
+    return hits / N_LOOKUPS, energy
+
+
+def run():
+    walk_hit, walk_energy = measure(UniquePathStrategy())
+    flood_hit, flood_energy = measure(FloodingStrategy(ttl=3))
+    return [("UNIQUE-PATH (unicast walk)", walk_hit, walk_energy),
+            ("FLOODING ttl=3 (broadcast)", flood_hit, flood_energy)]
+
+
+def test_energy_per_lookup(benchmark, record):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["lookup strategy", "hit ratio", "energy/lookup (tx-units)"], rows)
+    record("energy_comparison", f"Section 4.4 energy comparison\n{text}")
+    walk, flood = rows
+    # Comparable hit ratios...
+    assert abs(walk[1] - flood[1]) <= 0.25
+    # ...but broadcasting burns several times the energy.
+    assert flood[2] > 2.0 * walk[2]

@@ -1,0 +1,45 @@
+"""Figure 15 — hit ratio vs messages per lookup for the three lookup
+strategies (RANDOM advertise).
+
+Paper shape targets: UNIQUE-PATH needs the fewest messages for high
+intersection targets; FLOODING can win only at low targets; RANDOM-OPT is
+inferior even before counting its routing overhead.
+"""
+
+from conftest import N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+
+from repro.experiments import format_table, lookup_tradeoff_curves
+
+
+def run():
+    return lookup_tradeoff_curves(n=N_DEFAULT, n_keys=N_KEYS,
+                                  n_lookups=N_LOOKUPS)
+
+
+def _cheapest_at(curve, target):
+    """Fewest messages achieving at least the target hit ratio."""
+    ok = [p for p in curve if p.hit_ratio >= target]
+    return min((p.avg_messages for p in ok), default=None)
+
+
+def test_fig15_lookup_strategy_comparison(benchmark, record):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, points in curves.items():
+        for p in points:
+            rows.append((name, p.knob, p.hit_ratio, p.avg_messages,
+                         p.avg_routing))
+    text = format_table(
+        ["strategy", "knob", "hit ratio", "msgs/lookup", "routing"], rows)
+    record("fig15_comparison", f"Figure 15\n{text}")
+
+    up = _cheapest_at(curves["UNIQUE-PATH"], 0.85)
+    fl = _cheapest_at(curves["FLOODING"], 0.85)
+    ro = _cheapest_at(curves["RANDOM-OPT"], 0.85)
+    assert up is not None
+    # At high intersection targets UNIQUE-PATH is at least competitive
+    # with FLOODING and beats RANDOM-OPT (which also pays routing).
+    if ro is not None:
+        assert up <= ro * 1.5
+    if fl is not None:
+        assert up <= fl * 1.5

@@ -1,0 +1,37 @@
+"""Figure 16 — the summary cost table (intersection 0.9).
+
+Paper shape targets (n=800, d=10): RANDOM advertise costs hundreds of
+messages (x3 in mobile networks); UNIQUE-PATH lookup hits cost less than
+|Ql| while RANDOM lookups cost an order of magnitude more; the
+UP x UP combination has cheap per-message costs but huge quorums.
+"""
+
+from conftest import N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+
+from repro.experiments import render_summary, summary_table
+
+
+def run():
+    return summary_table(n=N_DEFAULT, n_keys=N_KEYS, n_lookups=N_LOOKUPS,
+                         mobilities=("static", "waypoint"))
+
+
+def test_fig16_summary_table(benchmark, record):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("fig16_summary", f"Figure 16 @ n={N_DEFAULT}\n"
+           + render_summary(rows))
+
+    def get(advertise, lookup, mobility):
+        return next(r for r in rows if r.advertise == advertise
+                    and r.lookup == lookup and r.mobility == mobility)
+
+    rr = get("RANDOM", "RANDOM", "static")
+    rup = get("RANDOM", "UNIQUE-PATH", "static")
+    # UNIQUE-PATH lookups are far cheaper than RANDOM lookups.
+    assert rup.lookup_hit_cost < rr.lookup_hit_cost / 2
+    # Both reach a solid hit ratio at the paper's sizes.
+    assert rup.hit_ratio >= 0.8
+    # Mobile advertising over routing costs more than static.
+    rr_mobile = get("RANDOM", "RANDOM", "waypoint")
+    assert (rr_mobile.advertise_cost + rr_mobile.advertise_routing
+            >= 0.8 * (rr.advertise_cost + rr.advertise_routing))

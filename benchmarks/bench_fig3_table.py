@@ -1,0 +1,30 @@
+"""Figure 3 — asymptotic / qualitative comparison of access strategies.
+
+Regenerates the paper's strategy-comparison table for a concrete n, from
+the cost model in :mod:`repro.analysis.costs`.
+"""
+
+from conftest import N_DEFAULT, record_result
+
+from repro.analysis import figure3_table
+from repro.experiments import format_table
+
+
+def build_table(n: int):
+    return figure3_table(n)
+
+
+def test_fig3_strategy_table(benchmark, record):
+    rows = benchmark(build_table, N_DEFAULT)
+    text = format_table(
+        ["strategy", "accessed", "cost on RGG (msgs)", "routing?",
+         "membership?", "replies", "early halt?"],
+        [(r["strategy"], r["accessed_nodes"], r["cost_rgg"],
+          r["needs_routing"], r["needs_membership"], r["lookup_replies"],
+          r["early_halting"]) for r in rows],
+    )
+    record("fig3_strategy_table", f"Figure 3 @ n={N_DEFAULT}\n{text}")
+    # Shape assertions from the paper's table.
+    costs = {r["strategy"]: r["cost_rgg"] for r in rows}
+    assert costs["PATH"] < costs["RANDOM"] < costs["RANDOM-SAMPLING"]
+    assert costs["FLOODING"] <= costs["PATH"]

@@ -1,0 +1,52 @@
+"""Figure 4 — random-walk partial cover time on RGG deployments.
+
+Paper shape targets: steps-per-unique-node is a small constant (~1.7 at
+d_avg=10 for |Q| ~ sqrt(n)); sparser networks cost more (~2.5 at d=7);
+UNIQUE-PATH almost never revisits (ratio ~ 1) at any density.
+"""
+
+from conftest import FULL_SCALE, SIZES, record_result
+
+from repro.experiments import format_table, pct_by_density, pct_by_network_size
+
+WALKS = 30 if FULL_SCALE else 8
+DENSITIES = (7, 10, 15, 20, 25) if FULL_SCALE else (7, 10, 20)
+
+
+def run_by_size():
+    return pct_by_network_size(sizes=SIZES, walks=WALKS,
+                               coverage_fractions=(1.0, 2.0))
+
+
+def run_by_density():
+    return pct_by_density(densities=DENSITIES, n=max(SIZES), walks=WALKS)
+
+
+def test_fig4_pct_by_network_size(benchmark, record):
+    points = benchmark.pedantic(run_by_size, rounds=1, iterations=1)
+    text = format_table(
+        ["n", "d_avg", "target", "self-avoiding", "steps/unique"],
+        [(p.n, p.avg_degree, p.unique_target, p.unique, p.steps_per_unique)
+         for p in points])
+    record("fig4_pct_by_size", f"Figure 4(a,c)\n{text}")
+    simple = [p for p in points if not p.unique]
+    uniq = [p for p in points if p.unique]
+    # PCT linear in the target: ratio stays a small constant.
+    assert all(p.steps_per_unique < 3.5 for p in simple)
+    # UNIQUE-PATH barely revisits.
+    assert all(p.steps_per_unique < 1.35 for p in uniq)
+
+
+def test_fig4_pct_by_density(benchmark, record):
+    points = benchmark.pedantic(run_by_density, rounds=1, iterations=1)
+    text = format_table(
+        ["n", "d_avg", "target", "self-avoiding", "steps/unique"],
+        [(p.n, p.avg_degree, p.unique_target, p.unique, p.steps_per_unique)
+         for p in points])
+    record("fig4_pct_by_density", f"Figure 4(b)\n{text}")
+    simple = {p.avg_degree: p.steps_per_unique for p in points if not p.unique}
+    uniq = {p.avg_degree: p.steps_per_unique for p in points if p.unique}
+    # Sparse networks revisit more than dense ones (simple walk).
+    assert simple[min(simple)] >= simple[max(simple)] - 0.2
+    # Self-avoiding walk is nearly density independent.
+    assert max(uniq.values()) - min(uniq.values()) < 0.5

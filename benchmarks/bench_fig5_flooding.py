@@ -1,0 +1,54 @@
+"""Figure 5 — flooding coverage and coverage granularity vs TTL.
+
+Paper shape targets: coverage grows superlinearly with TTL; CG(3) > 2 and
+CG(4)/CG(5) between ~1.25 and ~1.9 — i.e. flooding cannot be tuned at a
+fine granularity.
+"""
+
+from conftest import FULL_SCALE, SIZES, record_result
+
+from repro.experiments import (
+    flooding_by_density,
+    flooding_by_size,
+    format_table,
+)
+
+TTLS = (1, 2, 3, 4, 5, 6) if FULL_SCALE else (1, 2, 3, 4, 5)
+FLOODS = 12 if FULL_SCALE else 6
+DENSITIES = (7, 10, 15, 20, 25) if FULL_SCALE else (7, 10, 20)
+
+
+def run_by_size():
+    return flooding_by_size(sizes=SIZES, ttls=TTLS, floods_per_ttl=FLOODS)
+
+
+def run_by_density():
+    return flooding_by_density(densities=DENSITIES, n=max(SIZES), ttls=TTLS,
+                               floods_per_ttl=FLOODS)
+
+
+def test_fig5_coverage_by_size(benchmark, record):
+    points = benchmark.pedantic(run_by_size, rounds=1, iterations=1)
+    text = format_table(
+        ["n", "d_avg", "ttl", "coverage", "messages", "CG"],
+        [(p.n, p.avg_degree, p.ttl, p.coverage, p.messages, p.granularity)
+         for p in points])
+    record("fig5_coverage_by_size", f"Figure 5(a,c)\n{text}")
+    biggest = [p for p in points if p.n == max(SIZES)]
+    cg = {p.ttl: p.granularity for p in biggest}
+    # CG(3) is large; granularity shrinks with TTL (superlinear coverage,
+    # coarse early control).
+    assert cg[3] > 1.6
+    assert cg[3] > cg[max(TTLS)]
+
+
+def test_fig5_coverage_by_density(benchmark, record):
+    points = benchmark.pedantic(run_by_density, rounds=1, iterations=1)
+    text = format_table(
+        ["n", "d_avg", "ttl", "coverage", "messages", "CG"],
+        [(p.n, p.avg_degree, p.ttl, p.coverage, p.messages, p.granularity)
+         for p in points])
+    record("fig5_coverage_by_density", f"Figure 5(b,d)\n{text}")
+    # Denser networks cover more nodes at the same TTL.
+    at_ttl3 = {p.avg_degree: p.coverage for p in points if p.ttl == 3}
+    assert at_ttl3[max(at_ttl3)] > at_ttl3[min(at_ttl3)]

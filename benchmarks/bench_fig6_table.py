@@ -1,0 +1,31 @@
+"""Figure 6 — asymptotic comparison of strategy combinations.
+
+Regenerates the combination-cost table for |Q| = Theta(sqrt n): mixes with
+a RANDOM side get sqrt-sized quorums; routing-free symmetric mixes pay
+crossing-time (~n/log n) sizes.
+"""
+
+from conftest import N_DEFAULT, record_result
+
+from repro.analysis import figure6_table
+from repro.experiments import format_table
+
+
+def build(n: int):
+    return figure6_table(n, epsilon=0.1)
+
+
+def test_fig6_combination_table(benchmark, record):
+    combos = benchmark(build, N_DEFAULT)
+    text = format_table(
+        ["advertise", "lookup", "advertise cost", "lookup cost", "combined"],
+        [(c.advertise, c.lookup, c.advertise_cost, c.lookup_cost, c.combined)
+         for c in combos])
+    record("fig6_combination_table", f"Figure 6 @ n={N_DEFAULT}\n{text}")
+    by_pair = {(c.advertise, c.lookup): c for c in combos}
+    # RANDOM x PATH lookups are far cheaper than RANDOM x RANDOM lookups.
+    assert (by_pair[("RANDOM", "PATH")].lookup_cost
+            < by_pair[("RANDOM", "RANDOM")].lookup_cost)
+    # PATH x PATH pays the crossing time: most expensive lookup.
+    assert (by_pair[("PATH", "PATH")].lookup_cost
+            > by_pair[("RANDOM", "PATH")].lookup_cost)

@@ -1,0 +1,44 @@
+"""Figure 7 — degradation of intersection probability vs churn fraction.
+
+Paper shape targets: failures-only with constant |Ql| does not degrade at
+all; joins degrade slowly; fail+join at 30% keeps intersection just below
+0.9 when starting from 0.95.
+"""
+
+from conftest import FULL_SCALE, record_result
+
+from repro.experiments import CHURN_MODES, degradation_curves, format_table
+
+TRIALS = 2000 if FULL_SCALE else 400
+N = 800 if FULL_SCALE else 300
+FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def run():
+    return degradation_curves(epsilon=0.05, fractions=FRACTIONS, n=N,
+                              trials=TRIALS, modes=CHURN_MODES)
+
+
+def test_fig7_degradation(benchmark, record):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["mode", "f", "analytic intersection", "simulated intersection"],
+        [(p.mode, p.f, p.analytic_intersection, p.simulated_intersection)
+         for p in points])
+    record("fig7_degradation", f"Figure 7 (eps=0.05, n={N})\n{text}")
+
+    by_mode = {}
+    for p in points:
+        by_mode.setdefault(p.mode, {})[p.f] = p
+
+    # Case 1: failures with constant |Ql| never degrade (paper's highlight).
+    fc = by_mode["failures-constant"]
+    assert all(p.analytic_intersection == fc[0.0].analytic_intersection
+               for p in fc.values())
+    assert fc[0.5].simulated_intersection >= 0.9
+
+    # Paper example: 30% fail+join -> intersection slightly below 0.9.
+    both = by_mode["both"][0.3]
+    assert 0.85 <= both.analytic_intersection <= 0.93
+    # Simulation at least matches the analytic lower bound.
+    assert both.simulated_intersection >= both.analytic_intersection - 0.05

@@ -1,0 +1,87 @@
+"""Substrate micro-benchmarks: event kernel throughput, walk step rate,
+flood/route primitives, and the packet-level stack.
+
+Not a paper figure — these keep the simulator fast enough to run the
+figure sweeps at paper scale and guard against performance regressions.
+"""
+
+import random
+
+from conftest import record_result
+
+from repro.randomwalk import random_walk
+from repro.sim import Simulator
+from repro.simnet import NetworkConfig, SimNetwork
+from repro.stack import AdhocStack, StackConfig
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_network_construction(benchmark):
+    def build():
+        return SimNetwork(NetworkConfig(n=200, avg_degree=10, seed=1))
+
+    net = benchmark(build)
+    assert net.n_alive == 200
+
+
+def test_random_walk_steps(benchmark):
+    net = SimNetwork(NetworkConfig(n=200, avg_degree=10, seed=1))
+    rng = random.Random(0)
+
+    def walk():
+        return random_walk(net, 0, target_unique=20, rng=rng)
+
+    result = benchmark(walk)
+    assert result.unique_count >= 1
+
+
+def test_flood_primitive(benchmark):
+    net = SimNetwork(NetworkConfig(n=200, avg_degree=10, seed=1))
+
+    def flood():
+        return net.flood(0, ttl=3)
+
+    outcome = benchmark(flood)
+    assert outcome.coverage > 1
+
+
+def test_route_primitive(benchmark):
+    net = SimNetwork(NetworkConfig(n=200, avg_degree=10, seed=1))
+
+    def route():
+        net.invalidate_routes()
+        return net.route(0, 150)
+
+    result = benchmark.pedantic(route, rounds=20, iterations=1)
+    assert result.success
+
+
+def test_packet_stack_end_to_end(benchmark, record):
+    def run():
+        stack = AdhocStack(StackConfig(n=20, avg_degree=10, seed=3))
+        stack.run(0.5)
+        stack.send(0, 15, "payload")
+        stack.run(5.0)
+        return stack
+
+    stack = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("substrate_stack",
+           f"packet stack: frames={stack.total_mac_frames()} "
+           f"control={stack.total_control_messages()}")
+    assert ("payload", 0) in stack.delivered_to(15)

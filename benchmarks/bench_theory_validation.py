@@ -1,0 +1,94 @@
+"""Theory-validation benches: Theorem 5.5 (crossing time), the MD-walk
+mixing claim behind sampling-based RANDOM, and exact-vs-simulated PCT.
+
+These back the analytic rows of Figures 3 and 6 ("lower bound is based on
+the crossing time").
+"""
+
+import pytest
+import random
+
+from conftest import FULL_SCALE, record_result
+
+from repro.analysis import (
+    exact_partial_cover_time,
+    measure_crossing_time,
+    pct_complete_graph,
+    spectral_mixing_time,
+)
+from repro.experiments import format_table
+from repro.geometry import rgg_for_density
+from repro.simnet import NetworkConfig, SimNetwork
+
+SIZES = (50, 100, 200, 400) if FULL_SCALE else (50, 100, 200)
+PAIRS = 40 if FULL_SCALE else 15
+
+
+def run_crossing():
+    rows = []
+    for n in SIZES:
+        net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=2))
+        m = measure_crossing_time(net, pairs=PAIRS, rng=random.Random(1))
+        bound = n / 10.0  # Omega(r^-2) with r^2 ~ d_avg/n (up to constants)
+        rows.append((n, m.mean_steps, m.median_steps, bound, m.timeouts))
+    return rows
+
+
+def run_mixing():
+    rows = []
+    for n in (30, 60, 120):
+        g = rgg_for_density(n, avg_degree=12, rng=random.Random(6),
+                            require_connected=True)
+        rows.append((n, spectral_mixing_time(g), n / 2.0))
+    return rows
+
+
+def test_crossing_time_theorem(benchmark, record):
+    rows = benchmark.pedantic(run_crossing, rounds=1, iterations=1)
+    text = format_table(
+        ["n", "mean crossing", "median", "Omega(r^-2) scale", "timeouts"],
+        rows)
+    record("theory_crossing_time", f"Theorem 5.5 validation\n{text}")
+    means = {r[0]: r[1] for r in rows}
+    # Crossing time grows with n (r^-2 ~ n at fixed density)...
+    ordered = [means[n] for n in SIZES]
+    assert ordered == sorted(ordered)
+    # ...and superlinearly vs sqrt(n): quadrupling n more than doubles it.
+    assert means[SIZES[-1]] >= 2.0 * means[SIZES[0]]
+
+
+def test_md_walk_mixing_scales_linearly(benchmark, record):
+    rows = benchmark.pedantic(run_mixing, rounds=1, iterations=1)
+    text = format_table(["n", "spectral T_mix", "RaWMS n/2"], rows)
+    record("theory_mixing_time", f"MD-walk mixing validation\n{text}")
+    ts = [r[1] for r in rows]
+    assert ts == sorted(ts)
+    # Linear-in-n growth (within constants): 4x nodes -> >= 2x mixing.
+    assert ts[-1] >= 2.0 * ts[0]
+
+
+def test_exact_pct_validates_simulated_walks(benchmark, record):
+    """The walk kernel's expected cover time matches the exact DP value."""
+
+    def run():
+        adj = [[1, 2], [0, 2, 3], [0, 1, 4], [1, 4], [2, 3, 5], [4]]
+        exact = exact_partial_cover_time(adj, 0, 6)
+        rng = random.Random(0)
+        trials = 3000
+        total = 0
+        for _ in range(trials):
+            current, visited, steps = 0, {0}, 0
+            while len(visited) < 6:
+                current = rng.choice(adj[current])
+                visited.add(current)
+                steps += 1
+            total += steps
+        return exact, total / trials
+
+    exact, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    record("theory_exact_pct",
+           f"exact PCT={exact:.3f} vs simulated={simulated:.3f}")
+    assert simulated == pytest.approx(exact, rel=0.08)
+
+
+

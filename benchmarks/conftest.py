@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures and records
+the data series under ``benchmarks/results/`` so EXPERIMENTS.md can cite
+paper-vs-measured numbers.  Set ``REPRO_BENCH_FULL=1`` to run at the
+paper's full scale (n up to 800, more replications); the default scale
+completes the whole suite in a few minutes on a laptop.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Network sizes for sweeps (the paper uses 50..800).
+SIZES = (50, 100, 200, 400, 800) if FULL_SCALE else (50, 100, 200)
+#: Default single-network size (the paper's headline figures use 800).
+N_DEFAULT = 800 if FULL_SCALE else 200
+#: Advertisements / lookups per scenario (paper: 100 / 1000).
+N_KEYS = 100 if FULL_SCALE else 12
+N_LOOKUPS = 1000 if FULL_SCALE else 60
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a figure's regenerated data for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture
+def record():
+    return record_result

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Drive the packet-level stack: SINR radio + CSMA/CA MAC + AODV + flooding.
+
+This is the high-fidelity substrate (the JiST/SWANS equivalent) that
+validates the graph-level simulator: real frames, carrier sensing,
+acknowledgments, retries, route discovery floods.
+
+Run:  python examples/packet_level_stack.py
+"""
+
+from repro.stack import AdhocStack, StackConfig
+
+
+def main() -> None:
+    stack = AdhocStack(StackConfig(n=25, avg_degree=10, seed=42,
+                                   channel="sinr"))
+    print(f"deployed {len(stack.nodes)} nodes on a "
+          f"{stack.config.side:.0f}m x {stack.config.side:.0f}m field "
+          f"(two-ray ground, 200m range)")
+    stack.run(0.5)
+
+    # Multi-hop unicast via AODV.
+    stack.send(0, 20, {"kind": "hello", "seq": 1})
+    stack.run(5.0)
+    delivered = stack.delivered_to(20)
+    print(f"node 20 received: {delivered}")
+    print(f"AODV control messages so far: "
+          f"{stack.total_control_messages()} "
+          f"(RREQ floods + RREPs)")
+
+    # Reusing the discovered route is nearly free.
+    before = stack.total_control_messages()
+    stack.send(0, 20, {"kind": "hello", "seq": 2})
+    stack.run(3.0)
+    print(f"second send reused the route: "
+          f"+{stack.total_control_messages() - before} control messages")
+
+    # TTL-scoped flooding.
+    stack.flood(5, "flood-announcement", ttl=2)
+    stack.run(3.0)
+    receivers = {d for d, p, s in stack.received
+                 if p == "flood-announcement"}
+    print(f"TTL-2 flood from node 5 covered {len(receivers)} nodes")
+
+    # Crash a relay and watch AODV recover.
+    victim = 10
+    stack.crash(victim)
+    print(f"crashed node {victim}; sending again...")
+    stack.send(0, 20, {"kind": "hello", "seq": 3})
+    stack.run(8.0)
+    seq3 = [p for p, s in stack.delivered_to(20)
+            if isinstance(p, dict) and p.get("seq") == 3]
+    print(f"delivery after crash: {'ok' if seq3 else 'lost'} "
+          f"(total MAC frames on air: {stack.total_mac_frames()})")
+
+
+if __name__ == "__main__":
+    main()

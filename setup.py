@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without PEP 660 tooling."""
+from setuptools import setup
+
+setup()

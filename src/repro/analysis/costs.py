@@ -1,0 +1,219 @@
+"""Asymptotic access-cost model and the asymmetric-cost optimizer.
+
+Encodes the paper's Figure 3 (per-strategy asymptotic costs and qualitative
+properties), Figure 6 (costs of strategy combinations at |Q| = Theta(sqrt n)),
+and Lemma 5.6 (the optimal lookup/advertise size ratio for a given
+lookup:advertise frequency ratio tau).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.walks import (
+    EMPIRICAL_ALPHA_DEFAULT_DENSITY,
+    mixing_time_rgg,
+)
+
+RANDOM = "RANDOM"
+RANDOM_SAMPLING = "RANDOM-SAMPLING"
+RANDOM_OPT = "RANDOM-OPT"
+PATH = "PATH"
+UNIQUE_PATH = "UNIQUE-PATH"
+FLOODING = "FLOODING"
+
+ALL_STRATEGIES = (RANDOM, RANDOM_SAMPLING, RANDOM_OPT, PATH, UNIQUE_PATH,
+                  FLOODING)
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """Qualitative row of the paper's Figure 3."""
+
+    name: str
+    accessed_nodes: str          # "uniform" or "arbitrary"
+    needs_routing: bool
+    needs_membership: bool
+    lookup_replies: str          # "one" or "multiple"
+    early_halting: bool
+    uniform_random: bool         # usable as the RANDOM side of Lemma 5.2
+
+
+_PROFILES: Dict[str, StrategyProfile] = {
+    RANDOM: StrategyProfile(
+        name=RANDOM, accessed_nodes="uniform", needs_routing=True,
+        needs_membership=True, lookup_replies="multiple",
+        early_halting=False, uniform_random=True),
+    RANDOM_SAMPLING: StrategyProfile(
+        name=RANDOM_SAMPLING, accessed_nodes="uniform", needs_routing=False,
+        needs_membership=False, lookup_replies="multiple",
+        early_halting=False, uniform_random=True),
+    RANDOM_OPT: StrategyProfile(
+        name=RANDOM_OPT, accessed_nodes="arbitrary", needs_routing=True,
+        needs_membership=True, lookup_replies="multiple",
+        early_halting=False, uniform_random=False),
+    PATH: StrategyProfile(
+        name=PATH, accessed_nodes="arbitrary", needs_routing=False,
+        needs_membership=False, lookup_replies="one",
+        early_halting=True, uniform_random=False),
+    UNIQUE_PATH: StrategyProfile(
+        name=UNIQUE_PATH, accessed_nodes="arbitrary", needs_routing=False,
+        needs_membership=False, lookup_replies="one",
+        early_halting=True, uniform_random=False),
+    FLOODING: StrategyProfile(
+        name=FLOODING, accessed_nodes="arbitrary", needs_routing=False,
+        needs_membership=False, lookup_replies="multiple",
+        early_halting=False, uniform_random=False),
+}
+
+
+def strategy_profile(name: str) -> StrategyProfile:
+    """Qualitative properties of an access strategy (Figure 3 row)."""
+    if name not in _PROFILES:
+        raise ValueError(f"unknown strategy {name!r}; pick from {ALL_STRATEGIES}")
+    return _PROFILES[name]
+
+
+def access_cost_rgg(strategy: str, n: int, quorum_size: int,
+                    alpha: float = EMPIRICAL_ALPHA_DEFAULT_DENSITY) -> float:
+    """Asymptotic message cost of accessing ``|Q|`` nodes on an RGG
+    (Figure 3, third row — constants from the paper's measurements).
+
+    * RANDOM (membership+routing):  |Q| * sqrt(n / ln n)   (route length)
+    * RANDOM (direct sampling):     |Q| * T_mix ~ |Q| * n/2
+    * RANDOM-OPT:                   ln(n) routed messages ~ sqrt(n ln n)
+    * PATH / UNIQUE-PATH:           alpha * |Q|  (PCT linear for |Q|=o(n))
+    * FLOODING:                     |Q| (every covered node transmits once)
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if quorum_size < 0:
+        raise ValueError("quorum_size must be non-negative")
+    if strategy == RANDOM:
+        return quorum_size * math.sqrt(n / math.log(n))
+    if strategy == RANDOM_SAMPLING:
+        return quorum_size * mixing_time_rgg(n)
+    if strategy == RANDOM_OPT:
+        return math.sqrt(n * math.log(n))
+    if strategy in (PATH, UNIQUE_PATH):
+        return alpha * quorum_size
+    if strategy == FLOODING:
+        return float(quorum_size)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def per_node_access_cost(strategy: str, n: int, quorum_size: int,
+                         alpha: float = EMPIRICAL_ALPHA_DEFAULT_DENSITY) -> float:
+    """Average messages per accessed quorum node (``Cost_a`` / ``Cost_l``
+    in Lemma 5.6)."""
+    if quorum_size <= 0:
+        raise ValueError("quorum_size must be positive")
+    return access_cost_rgg(strategy, n, quorum_size, alpha) / quorum_size
+
+
+def optimal_size_ratio(tau: float, cost_a: float, cost_l: float) -> float:
+    """Lemma 5.6: optimal ``|Ql| / |Qa| = (1/tau) * Cost_a / Cost_l``.
+
+    ``tau`` is the network-wide lookup:advertise frequency ratio and the
+    costs are per-node access costs.
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    if cost_a <= 0 or cost_l <= 0:
+        raise ValueError("per-node costs must be positive")
+    return cost_a / (tau * cost_l)
+
+
+def optimal_lookup_size(n: int, epsilon: float, tau: float,
+                        cost_a: float, cost_l: float) -> float:
+    """The cost-minimising ``|Ql| = sqrt(n ln(1/eps) Cost_a / (tau Cost_l))``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    product = n * math.log(1.0 / epsilon)
+    return math.sqrt(product * cost_a / (tau * cost_l))
+
+
+def total_cost(n_advertise: int, quorum_a: int, cost_a: float,
+               n_lookup: int, quorum_l: int, cost_l: float) -> float:
+    """Lemma 5.6's objective: total messages for a whole workload."""
+    if min(n_advertise, quorum_a, n_lookup, quorum_l) < 0:
+        raise ValueError("counts and sizes must be non-negative")
+    return n_advertise * quorum_a * cost_a + n_lookup * quorum_l * cost_l
+
+
+@dataclass(frozen=True)
+class CombinationCost:
+    """One column of the paper's Figure 6 (asymptotics at |Q|=Theta(sqrt n))."""
+
+    advertise: str
+    lookup: str
+    advertise_cost: float
+    lookup_cost: float
+
+    @property
+    def combined(self) -> float:
+        return self.advertise_cost + self.lookup_cost
+
+
+def combination_cost(advertise: str, lookup: str, n: int,
+                     epsilon: float = 0.1,
+                     alpha: float = EMPIRICAL_ALPHA_DEFAULT_DENSITY) -> CombinationCost:
+    """Asymptotic advertise/lookup costs of a strategy mix (Figure 6).
+
+    Random-involving mixes use |Qa| = |Ql| = sqrt(n ln(1/eps)); the
+    routing-free symmetric mixes (PATH x PATH etc.) must instead use the
+    crossing-time-driven sizes ~ n/log(n) each (Theorem 5.5 / Section 8.5).
+    """
+    from repro.analysis.intersection import symmetric_quorum_size
+    from repro.analysis.walks import path_x_path_quorum_size
+
+    uniform_mix = (strategy_profile(advertise).uniform_random
+                   or strategy_profile(lookup).uniform_random)
+    if uniform_mix:
+        q = symmetric_quorum_size(n, epsilon)
+        return CombinationCost(
+            advertise=advertise, lookup=lookup,
+            advertise_cost=access_cost_rgg(advertise, n, q, alpha),
+            lookup_cost=access_cost_rgg(lookup, n, q, alpha),
+        )
+    q = path_x_path_quorum_size(n)
+    return CombinationCost(
+        advertise=advertise, lookup=lookup,
+        advertise_cost=access_cost_rgg(advertise, n, q, alpha),
+        lookup_cost=access_cost_rgg(lookup, n, q, alpha),
+    )
+
+
+def figure3_table(n: int, quorum_size: Optional[int] = None) -> List[Dict[str, object]]:
+    """The full Figure 3 comparison table, evaluated at a concrete n."""
+    if quorum_size is None:
+        quorum_size = int(math.ceil(math.sqrt(n)))
+    rows: List[Dict[str, object]] = []
+    for name in ALL_STRATEGIES:
+        profile = strategy_profile(name)
+        rows.append({
+            "strategy": name,
+            "accessed_nodes": profile.accessed_nodes,
+            "cost_rgg": access_cost_rgg(name, n, quorum_size),
+            "needs_routing": profile.needs_routing,
+            "needs_membership": profile.needs_membership,
+            "lookup_replies": profile.lookup_replies,
+            "early_halting": profile.early_halting,
+        })
+    return rows
+
+
+def figure6_table(n: int, epsilon: float = 0.1) -> List[CombinationCost]:
+    """The Figure 6 combination table, evaluated at a concrete n."""
+    combos = [
+        (RANDOM, RANDOM),
+        (RANDOM, RANDOM_OPT),
+        (RANDOM, PATH),
+        (RANDOM, FLOODING),
+        (FLOODING, PATH),
+        (PATH, FLOODING),
+        (PATH, PATH),
+    ]
+    return [combination_cost(a, l, n, epsilon) for a, l in combos]

@@ -1,0 +1,137 @@
+"""Degradation rate under churn (Section 6.1, Figure 7).
+
+Closed forms for the non-intersection probability ``Pr(miss(t))`` of a
+lookup quorum against an advertise quorum established *before* churn, as a
+function of the churn fraction ``f``:
+
+1. failures only, constant lookup size:       ``Pr(miss) = eps`` (unchanged!)
+2. failures only, lookup size adjusted:       ``Pr(miss) <= eps^sqrt(1-f)``
+3. joins only, constant lookup size:          ``Pr(miss) <= eps^(1/(1+f))``
+4. joins only, lookup size adjusted:          ``Pr(miss) <= eps^(1/sqrt(1+f))``
+5. equal joins+failures (network size const): ``Pr(miss) <= eps^(1-f)``
+
+plus a planner that turns a minimum acceptable intersection probability
+into a refresh (readvertise) schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _validate(epsilon: float, f: float, max_f: float = 1.0) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 <= f <= max_f:
+        raise ValueError(f"churn fraction must be in [0, {max_f}]")
+
+
+def miss_failures_constant_lookup(epsilon: float, f: float) -> float:
+    """Case 1: nodes fail, ``|Ql|`` kept at its original value.
+
+    The advertise quorum shrinks by (1-f) but so does n, so the exponent
+    ``|Qa||Ql|/n`` — and hence the miss probability — is *unchanged*.
+    """
+    _validate(epsilon, f, max_f=0.999999)
+    return epsilon
+
+
+def miss_failures_adjusted_lookup(epsilon: float, f: float) -> float:
+    """Case 2: nodes fail, ``|Ql| = C sqrt(n(t))`` tracks the network size."""
+    _validate(epsilon, f, max_f=0.999999)
+    return epsilon ** math.sqrt(1.0 - f)
+
+
+def miss_joins_constant_lookup(epsilon: float, f: float) -> float:
+    """Case 3: nodes join, ``|Ql|`` kept constant."""
+    _validate(epsilon, f, max_f=math.inf)
+    return epsilon ** (1.0 / (1.0 + f))
+
+
+def miss_joins_adjusted_lookup(epsilon: float, f: float) -> float:
+    """Case 4: nodes join, ``|Ql|`` adjusted to ``C sqrt(n(t))``."""
+    _validate(epsilon, f, max_f=math.inf)
+    return epsilon ** (1.0 / math.sqrt(1.0 + f))
+
+
+def miss_joins_and_failures(epsilon: float, f: float) -> float:
+    """Case 5: fraction ``f`` failed AND the same number joined (n fixed)."""
+    _validate(epsilon, f)
+    return epsilon ** (1.0 - f)
+
+
+def intersection_after_churn(epsilon: float, f: float, mode: str) -> float:
+    """``1 - Pr(miss)`` for a named churn scenario.
+
+    ``mode`` is one of ``failures-constant``, ``failures-adjusted``,
+    ``joins-constant``, ``joins-adjusted``, ``both``.
+    """
+    table = {
+        "failures-constant": miss_failures_constant_lookup,
+        "failures-adjusted": miss_failures_adjusted_lookup,
+        "joins-constant": miss_joins_constant_lookup,
+        "joins-adjusted": miss_joins_adjusted_lookup,
+        "both": miss_joins_and_failures,
+    }
+    if mode not in table:
+        raise ValueError(f"unknown churn mode {mode!r}; pick from {sorted(table)}")
+    return 1.0 - table[mode](epsilon, f)
+
+
+def max_tolerable_churn(epsilon: float, min_intersection: float,
+                        mode: str = "both") -> float:
+    """Largest churn fraction keeping intersection >= ``min_intersection``.
+
+    Solved in closed form from the bounds above; returns 1.0 (or +inf for
+    join-only modes that never cross the floor) when the floor is never hit.
+    The paper's Section 6.1 example: eps=0.05, floor 0.9 under 'both' churn
+    tolerates roughly f ~ 0.3.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < min_intersection < 1.0:
+        raise ValueError("min_intersection must be in (0, 1)")
+    target_miss = 1.0 - min_intersection
+    if target_miss <= epsilon:
+        return 0.0
+    ratio = math.log(target_miss) / math.log(epsilon)  # in (0, 1)
+    if mode == "both":
+        return min(1.0, 1.0 - ratio)
+    if mode == "failures-adjusted":
+        return min(1.0, 1.0 - ratio * ratio)
+    if mode == "joins-constant":
+        return 1.0 / ratio - 1.0
+    if mode == "joins-adjusted":
+        return 1.0 / (ratio * ratio) - 1.0
+    if mode == "failures-constant":
+        return math.inf  # intersection never degrades
+    raise ValueError(f"unknown churn mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class RefreshPlan:
+    """A readvertise schedule derived from the degradation rate."""
+
+    tolerable_churn_fraction: float
+    refresh_interval_seconds: float
+
+
+def refresh_schedule(epsilon: float, min_intersection: float,
+                     churn_fraction_per_second: float,
+                     mode: str = "both") -> RefreshPlan:
+    """How often to readvertise so intersection never drops below the floor.
+
+    Section 6.1's example: if 30% of nodes change per day and the floor
+    tolerates f = 0.3, every data item should be refreshed once a day.
+    """
+    if churn_fraction_per_second < 0:
+        raise ValueError("churn rate must be non-negative")
+    f_max = max_tolerable_churn(epsilon, min_intersection, mode)
+    if churn_fraction_per_second == 0 or math.isinf(f_max):
+        return RefreshPlan(tolerable_churn_fraction=f_max,
+                           refresh_interval_seconds=math.inf)
+    return RefreshPlan(
+        tolerable_churn_fraction=f_max,
+        refresh_interval_seconds=f_max / churn_fraction_per_second,
+    )

@@ -1,0 +1,204 @@
+"""Empirical random-walk measurements on deployed networks.
+
+Complements the closed forms in :mod:`repro.analysis.walks` with direct
+measurements used to validate the theory:
+
+* **crossing time** (Definition 5.4 / Theorem 5.5): the expected first
+  time two walks share a visited node — measured by co-simulating walk
+  pairs; the theorem's Omega(r^-2) lower bound is checked in the tests;
+* **mixing time** of the max-degree walk via the spectral gap of its
+  transition matrix (numpy) — validating the ~n/2 figure the sampling-based
+  RANDOM strategy relies on;
+* **partial cover time** exact expectation on small graphs by dynamic
+  programming over walk distributions (for tight kernel validation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.geometry.rgg import GeometricGraph
+from repro.simnet.network import SimNetwork
+
+
+@dataclass
+class CrossingMeasurement:
+    """Empirical crossing time over a set of walk pairs."""
+
+    mean_steps: float      # mean combined step index at first crossing
+    median_steps: float
+    pairs: int
+    timeouts: int          # pairs that never crossed within the cap
+
+
+def measure_crossing_time(
+    net: SimNetwork,
+    pairs: int = 20,
+    max_steps: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CrossingMeasurement:
+    """Run pairs of simple walks in lockstep until their visited sets meet.
+
+    Both walks take one step per round; the crossing time reported is the
+    round index at which the visited sets first intersect (Definition 5.4
+    counts per-walk steps).  Uses ground-truth neighbor tables so the
+    measurement is about the graph, not staleness.
+    """
+    rng = rng or random.Random(0)
+    n = net.n_alive
+    if max_steps is None:
+        max_steps = 20 * n
+    alive = net.alive_nodes()
+    samples: List[int] = []
+    timeouts = 0
+    for _ in range(pairs):
+        u, v = rng.sample(alive, 2)
+        visited_u: Set[int] = {u}
+        visited_v: Set[int] = {v}
+        cur_u, cur_v = u, v
+        crossed_at = None
+        if visited_u & visited_v:
+            crossed_at = 0
+        step = 0
+        while crossed_at is None and step < max_steps:
+            step += 1
+            nbrs_u = net.true_neighbors(cur_u)
+            nbrs_v = net.true_neighbors(cur_v)
+            if not nbrs_u or not nbrs_v:
+                break
+            cur_u = rng.choice(nbrs_u)
+            cur_v = rng.choice(nbrs_v)
+            visited_u.add(cur_u)
+            visited_v.add(cur_v)
+            if cur_u in visited_v or cur_v in visited_u:
+                crossed_at = step
+        if crossed_at is None:
+            timeouts += 1
+        else:
+            samples.append(crossed_at)
+    if not samples:
+        return CrossingMeasurement(mean_steps=math.inf,
+                                   median_steps=math.inf,
+                                   pairs=pairs, timeouts=timeouts)
+    samples.sort()
+    return CrossingMeasurement(
+        mean_steps=sum(samples) / len(samples),
+        median_steps=float(samples[len(samples) // 2]),
+        pairs=pairs, timeouts=timeouts)
+
+
+def md_walk_transition_matrix(graph: GeometricGraph) -> np.ndarray:
+    """Transition matrix of the max-degree random walk on a graph.
+
+    P[u, v] = 1/d_max for neighbors, self-loop with the remainder; its
+    stationary distribution is uniform, which is what makes the walk a
+    uniform sampler.
+    """
+    n = graph.n
+    degrees = [graph.degree(u) for u in range(n)]
+    d_max = max(max(degrees), 1) if degrees else 1
+    matrix = np.zeros((n, n))
+    for u in range(n):
+        for v in graph.adjacency[u]:
+            matrix[u, v] = 1.0 / d_max
+        matrix[u, u] = 1.0 - degrees[u] / d_max
+    return matrix
+
+
+def spectral_mixing_time(graph: GeometricGraph,
+                         epsilon: float = 0.25) -> float:
+    """Mixing-time estimate from the spectral gap of the MD walk.
+
+    ``T_mix ~ ln(n/eps) / (1 - lambda_2)`` where lambda_2 is the
+    second-largest eigenvalue modulus.  Returns +inf for disconnected
+    graphs (lambda_2 = 1).
+    """
+    if graph.n < 2:
+        return 0.0
+    matrix = md_walk_transition_matrix(graph)
+    eigenvalues = np.linalg.eigvals(matrix)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    lam2 = float(moduli[1])
+    gap = 1.0 - lam2
+    if gap <= 1e-12:
+        return math.inf
+    return math.log(graph.n / epsilon) / gap
+
+
+def empirical_stationary_distribution(
+    graph: GeometricGraph, steps: int, starts: int = 200,
+    rng: Optional[random.Random] = None,
+) -> np.ndarray:
+    """End-node distribution of MD walks of the given length (Monte Carlo)."""
+    rng = rng or random.Random(0)
+    n = graph.n
+    degrees = [graph.degree(u) for u in range(n)]
+    d_max = max(degrees) if degrees else 1
+    counts = np.zeros(n)
+    for _ in range(starts):
+        current = rng.randrange(n)
+        for _ in range(steps):
+            if degrees[current] and rng.random() < degrees[current] / d_max:
+                current = rng.choice(graph.adjacency[current])
+        counts[current] += 1
+    return counts / counts.sum()
+
+
+def exact_partial_cover_time(adjacency: Sequence[Sequence[int]],
+                             start: int, target: int) -> float:
+    """Exact expected PCT on a tiny graph.
+
+    State = (current node, visited set).  Within a fixed visited set the
+    walk may cycle among already-visited nodes, so the expectations for
+    each set satisfy a linear system; sets are processed from largest to
+    smallest (exits to bigger sets are already solved).  Exponential in n —
+    for validating the simulation kernel on graphs with n <= ~12.
+    """
+    n = len(adjacency)
+    if n > 12:
+        raise ValueError("exact PCT only tractable for tiny graphs")
+    if not 1 <= target <= n:
+        raise ValueError("target out of range")
+    if any(not nbrs for nbrs in adjacency):
+        raise ValueError("graph must have no isolated nodes")
+
+    from itertools import combinations
+
+    solved: dict = {}  # (visited frozenset) -> {node in visited: E}
+
+    def is_reachable_superset(visited: frozenset) -> bool:
+        return start in visited
+
+    # Enumerate visited sets containing start, by decreasing size.
+    nodes = list(range(n))
+    for size in range(n, 0, -1):
+        for combo in combinations(nodes, size):
+            visited = frozenset(combo)
+            if start not in visited:
+                continue
+            if len(visited) >= target:
+                solved[visited] = {v: 0.0 for v in visited}
+                continue
+            members = sorted(visited)
+            index = {v: i for i, v in enumerate(members)}
+            k = len(members)
+            a = np.eye(k)
+            b = np.ones(k)
+            for v in members:
+                deg = len(adjacency[v])
+                for u in adjacency[v]:
+                    if u in visited:
+                        a[index[v], index[u]] -= 1.0 / deg
+                    else:
+                        bigger = visited | {u}
+                        b[index[v]] += solved[bigger][u] / deg
+            solution = np.linalg.solve(a, b)
+            solved[visited] = {v: float(solution[index[v]])
+                               for v in members}
+
+    return solved[frozenset({start})][start]

@@ -1,0 +1,104 @@
+"""Intersection probability and quorum sizing (Sections 3, 5).
+
+Closed forms:
+
+* Lemma 5.1 / 5.2 (mix-and-match): for quorums of sizes ``|Qa|`` and
+  ``|Ql|`` over ``n`` nodes with at least one side uniform-random,
+  ``Pr(miss) <= exp(-|Qa| * |Ql| / n)``.
+* Exact miss probability for the same process (hypergeometric product).
+* Corollary 5.3: for intersection probability ``>= 1 - eps`` one needs
+  ``|Qa| * |Ql| >= n * ln(1/eps)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def miss_probability_bound(quorum_a: int, quorum_l: int, n: int) -> float:
+    """Lemma 5.2 upper bound: ``exp(-|Qa| |Ql| / n)``."""
+    _validate(quorum_a, quorum_l, n)
+    return math.exp(-quorum_a * quorum_l / n)
+
+
+def miss_probability_exact(quorum_a: int, quorum_l: int, n: int) -> float:
+    """Exact non-intersection probability of Lemma 5.2's selection process.
+
+    ``prod_{i=0}^{|Qa|-1} (n - |Ql| - i) / (n - i)`` — the probability that
+    a without-replacement uniform sample of size ``|Qa|`` avoids a fixed set
+    of size ``|Ql|``.
+    """
+    _validate(quorum_a, quorum_l, n)
+    if quorum_a + quorum_l > n:
+        return 0.0
+    prob = 1.0
+    for i in range(quorum_a):
+        prob *= (n - quorum_l - i) / (n - i)
+    return prob
+
+
+def intersection_probability(quorum_a: int, quorum_l: int, n: int,
+                             exact: bool = True) -> float:
+    """``1 - Pr(miss)`` for one advertise / lookup quorum pair."""
+    if exact:
+        return 1.0 - miss_probability_exact(quorum_a, quorum_l, n)
+    return 1.0 - miss_probability_bound(quorum_a, quorum_l, n)
+
+
+def required_quorum_product(n: int, epsilon: float) -> float:
+    """Corollary 5.3: minimal ``|Qa| * |Ql|`` for ``Pr(intersect) >= 1-eps``."""
+    _validate_eps(epsilon)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n * math.log(1.0 / epsilon)
+
+
+def symmetric_quorum_size(n: int, epsilon: float) -> int:
+    """Equal-size quorums meeting Corollary 5.3: ``ceil(sqrt(n ln(1/eps)))``."""
+    return int(math.ceil(math.sqrt(required_quorum_product(n, epsilon))))
+
+
+def asymmetric_quorum_sizes(n: int, epsilon: float,
+                            ratio_l_over_a: float) -> Tuple[int, int]:
+    """Sizes ``(|Qa|, |Ql|)`` with ``|Ql|/|Qa| = ratio`` meeting Cor. 5.3."""
+    if ratio_l_over_a <= 0:
+        raise ValueError("ratio must be positive")
+    product = required_quorum_product(n, epsilon)
+    q_l = math.sqrt(product * ratio_l_over_a)
+    q_a = math.sqrt(product / ratio_l_over_a)
+    return int(math.ceil(q_a)), int(math.ceil(q_l))
+
+
+def epsilon_for_sizes(quorum_a: int, quorum_l: int, n: int) -> float:
+    """The guaranteed ``eps`` for given sizes (from the Lemma 5.2 bound)."""
+    return miss_probability_bound(quorum_a, quorum_l, n)
+
+
+def malkhi_quorum_size(n: int, k: float) -> int:
+    """The classic ``k * sqrt(n)`` size of Malkhi et al. (Lemma 5.1).
+
+    Guarantees ``Pr(miss) < exp(-k^2)`` for a symmetric RANDOM biquorum.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return int(math.ceil(k * math.sqrt(n)))
+
+
+def malkhi_miss_bound(k: float) -> float:
+    """Lemma 5.1 bound ``exp(-k^2)`` for quorums of size ``k sqrt(n)``."""
+    return math.exp(-k * k)
+
+
+def _validate(quorum_a: int, quorum_l: int, n: int) -> None:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if quorum_a < 0 or quorum_l < 0:
+        raise ValueError("quorum sizes must be non-negative")
+    if quorum_a > n or quorum_l > n:
+        raise ValueError("quorum size cannot exceed the universe size")
+
+
+def _validate_eps(epsilon: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")

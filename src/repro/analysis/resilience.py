@@ -1,0 +1,112 @@
+"""Failure-resilience metrics of probabilistic quorum systems (Section 3)
+and connectivity under failures (Section 6.1).
+
+* Fault tolerance of a size-``k sqrt(n)`` probabilistic quorum system is
+  ``n - k sqrt(n) + 1 = Omega(n)`` (Malkhi et al.).
+* Failure probability is ``e^{-Omega(n)}`` for crash probability
+  ``p <= 1 - k/sqrt(n)``.
+* An RGG with fixed r survives failures while the survivor count still
+  satisfies the Gupta–Kumar condition ``r >= sqrt(ln(n-i) / (pi (n-i)))``.
+* Network-size estimation by birthday-paradox collision counting
+  (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def fault_tolerance(n: int, quorum_size: int) -> int:
+    """Minimal number of crashes that can disable *every* quorum.
+
+    For quorums drawn uniformly with size ``q``, every ``q``-subset of live
+    nodes is a possible quorum, so the adversary must leave fewer than
+    ``q`` nodes alive: fault tolerance = ``n - q + 1``.
+    """
+    if not 1 <= quorum_size <= n:
+        raise ValueError("need 1 <= quorum_size <= n")
+    return n - quorum_size + 1
+
+
+def failure_probability_bound(n: int, k: float, p: float) -> float:
+    """Chernoff bound on the probability the whole system is disabled.
+
+    Nodes crash independently with probability ``p``; the system of
+    ``k sqrt(n)``-sized quorums fails only if fewer than ``k sqrt(n)``
+    nodes survive.  For ``p <= 1 - k/sqrt(n)`` this is ``e^{-Omega(n)}``;
+    we return the standard multiplicative Chernoff bound.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError("p must be in [0, 1)")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    q = k * math.sqrt(n)
+    if q > n:
+        raise ValueError("quorum size exceeds n")
+    survivors_mean = n * (1.0 - p)
+    if q >= survivors_mean:
+        return 1.0  # bound is vacuous in this regime
+    delta = 1.0 - q / survivors_mean
+    return math.exp(-survivors_mean * delta * delta / 2.0)
+
+
+def min_degree_for_connectivity(n: int, constant: float = 1.0) -> float:
+    """Gupta–Kumar: average degree ``C ln n`` needed for connectivity whp."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    return constant * math.log(n)
+
+
+def survivable_failures(n: int, avg_degree: float) -> int:
+    """How many uniform crashes an RGG tolerates while staying connected.
+
+    With fixed r, survivors form G^2(n - i, r); connectivity needs the
+    (absolute) average degree among survivors — which scales as
+    ``avg_degree * (n - i) / n`` — to stay above ``ln(n - i)``.  The paper's
+    example: n = 1000 at d_avg = 14 tolerates ~ half the nodes failing.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    tolerable = 0
+    for i in range(n - 1):
+        survivors = n - i
+        if survivors < 2:
+            break
+        surviving_degree = avg_degree * survivors / n
+        if surviving_degree < math.log(survivors):
+            break
+        tolerable = i
+    return tolerable
+
+
+def estimate_network_size(samples: Sequence[int]) -> float:
+    """Birthday-paradox estimate of ``n`` from uniform node samples.
+
+    With ``k`` uniform (with-replacement) samples and ``c`` colliding
+    pairs, ``E[c] = k(k-1) / (2n)``, so ``n ~ k(k-1) / (2c)``
+    (Section 6.3; Massoulie et al., RaWMS).  Returns +inf when no
+    collision was observed (only a lower bound on n is known then).
+    """
+    k = len(samples)
+    if k < 2:
+        raise ValueError("need at least two samples")
+    counts: dict = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    collisions = sum(c * (c - 1) // 2 for c in counts.values())
+    if collisions == 0:
+        return math.inf
+    return k * (k - 1) / (2.0 * collisions)
+
+
+def samples_for_size_estimate(n_upper_bound: int,
+                              target_collisions: int = 8) -> int:
+    """Sample count so the estimator expects >= ``target_collisions``."""
+    if n_upper_bound < 1:
+        raise ValueError("bound must be positive")
+    if target_collisions < 1:
+        raise ValueError("target_collisions must be >= 1")
+    return int(math.ceil(math.sqrt(2.0 * target_collisions * n_upper_bound))) + 1

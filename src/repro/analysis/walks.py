@@ -1,0 +1,110 @@
+"""Random-walk theory on random geometric graphs (Theorem 4.1, Theorem 5.5).
+
+* Partial cover time: on G^2(n, r) with r^2 >= c*8*log(n)/n, covering
+  ``t = o(n)`` distinct nodes takes at most ``2*alpha*t`` steps
+  (Theorem 4.1); the paper measures alpha ~ 1.7 for t = sqrt(n) at density
+  10, up to ~2.5 at the sparsest connected density 7.
+* Crossing time: two walks on G^2(n, r) need Omega(r^-2) steps before they
+  share a visited node (Theorem 5.5); at the connectivity-threshold radius
+  this is Omega(n / log n).
+* Mixing time of the max-degree walk: ~ n/2 (RaWMS measurement, used by the
+  sampling-based RANDOM strategy).
+* Complete-graph partial cover (the balls-in-bins baseline the paper quotes:
+  ``PCT(n/2) = ln(2) * n``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: Empirical PCT constant at the paper's default density (d_avg = 10):
+#: ``PCT(sqrt(n)) ~ 1.7 sqrt(n)`` for all n <= 800 (Section 4.2).
+EMPIRICAL_ALPHA_DEFAULT_DENSITY = 1.7
+
+#: Empirical PCT constant at the sparsest connected density (d_avg = 7).
+EMPIRICAL_ALPHA_SPARSE = 2.5
+
+
+def pct_upper_bound(t: int, alpha: float = EMPIRICAL_ALPHA_DEFAULT_DENSITY) -> float:
+    """Theorem 4.1 bound: steps to visit ``t`` distinct nodes <= 2*alpha*t.
+
+    Note the paper's empirical statements quote ``alpha*t`` directly as the
+    measured cost (the factor-2 theorem bound is loose); use
+    :func:`pct_empirical` for the measured form.
+    """
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    return 2.0 * alpha * t
+
+
+def pct_empirical(t: int, alpha: float = EMPIRICAL_ALPHA_DEFAULT_DENSITY) -> float:
+    """Measured partial cover time ``alpha * t`` (Figure 4)."""
+    if t < 1:
+        raise ValueError("t must be >= 1")
+    return alpha * t
+
+
+def pct_complete_graph(n: int, t: int) -> float:
+    """Exact expected PCT on the complete graph (coupon collector partial sum).
+
+    ``E[steps to visit t distinct] = sum_{i=1}^{t-1} (n-1)/(n-i)`` — the
+    walk starts on one node, each step is a uniform node among the other
+    n-1.  For t = n/2 this is ~ ln(2) * n, the figure the paper quotes.
+    """
+    if not 1 <= t <= n:
+        raise ValueError("need 1 <= t <= n")
+    return sum((n - 1) / (n - i) for i in range(1, t))
+
+
+def crossing_time_lower_bound(n: int, r: float, side: float = 1.0) -> float:
+    """Theorem 5.5: crossing time of two walks on G^2(n, r) is Omega(r^-2).
+
+    Returned in walk steps, for the normalised radius ``r/side``.
+    """
+    if r <= 0 or side <= 0:
+        raise ValueError("r and side must be positive")
+    r_norm = r / side
+    return 1.0 / (r_norm * r_norm)
+
+
+def crossing_time_at_connectivity_threshold(n: int) -> float:
+    """Crossing-time bound Omega(n / log n) at the minimal connected radius."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    return n / math.log(n)
+
+
+def path_x_path_quorum_size(n: int, constant: float = 1.5) -> int:
+    """Empirical symmetric PATHxPATH quorum size (Section 8.5).
+
+    The paper measures that 0.9 intersection needs ``|Qa| = |Ql| ~
+    1.5 * n / log(n)`` (~ n/4.7 for n=800, combined walk length ~ n/2).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    return int(math.ceil(constant * n / math.log(n)))
+
+
+def mixing_time_rgg(n: int) -> float:
+    """Max-degree-walk mixing time on RGGs, ~ n/2 (RaWMS measurement)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n / 2.0
+
+
+def uniform_sampling_cost(quorum_size: int, n: int) -> float:
+    """Messages to draw ``|Q|`` uniform samples with MD walks: |Q| * T_mix."""
+    if quorum_size < 0:
+        raise ValueError("quorum_size must be non-negative")
+    return quorum_size * mixing_time_rgg(n)
+
+
+def rgg_theorem_radius_ok(n: int, r: float, c: float = 1.0001) -> bool:
+    """Whether (n, r) satisfies Theorem 4.1's premise r^2 >= c*8*log(n)/n
+    (radius normalised to the unit square)."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    return r * r >= c * 8.0 * math.log(n) / n

@@ -1,0 +1,26 @@
+"""Baseline systems the paper positions itself against: strict
+deterministic quorums and geographic (GHT-style) location services."""
+
+from repro.baselines.deterministic import (
+    GridConfiguration,
+    GridStrategy,
+    MajorityStrategy,
+)
+from repro.baselines.geographic import (
+    GeographicLocationService,
+    GeoOpResult,
+    GeoRouteResult,
+    geographic_hash,
+    greedy_route,
+)
+
+__all__ = [
+    "GridConfiguration",
+    "GridStrategy",
+    "MajorityStrategy",
+    "GeographicLocationService",
+    "GeoOpResult",
+    "GeoRouteResult",
+    "geographic_hash",
+    "greedy_route",
+]

@@ -1,0 +1,194 @@
+"""Deterministic (strict) quorum baselines.
+
+The paper's motivation (Section 1): "the dynamic nature of ad hoc networks
+makes the usage of strict deterministic quorums highly costly".  These
+baselines let the benchmarks quantify that claim against the probabilistic
+constructions:
+
+* :class:`MajorityStrategy` — the classic majority quorum: every access
+  contacts ``floor(n/2) + 1`` nodes.  Guaranteed intersection, enormous
+  per-access cost, and a *strict* failure mode: if a majority cannot be
+  assembled the access fails outright.
+* :class:`GridStrategy` — a sqrt(n) x sqrt(n) grid biquorum (row quorums
+  vs column quorums; every row intersects every column).  Cheap accesses
+  (~sqrt(n) members), but the grid is a *fixed configuration*: a single
+  crashed member breaks the strict guarantee of every quorum containing
+  it until the system is explicitly reconfigured — exactly the
+  reconfiguration cost probabilistic quorums avoid (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.strategies import AccessResult, AccessStrategy, ProbeFn, StoreFn
+from repro.simnet.network import SimNetwork
+
+
+def _contact_all(net: SimNetwork, origin: int, members: Sequence[int],
+                 result: AccessResult, store_fn: Optional[StoreFn] = None,
+                 probe_fn: Optional[ProbeFn] = None) -> int:
+    """Route to every member; returns how many were reached."""
+    reached = 0
+    for member in members:
+        if member == origin:
+            reached += 1
+        else:
+            route = net.route(origin, member)
+            result.messages += route.data_messages
+            result.routing_messages += route.routing_messages
+            if not route.success:
+                continue
+            reached += 1
+        result.quorum.append(member)
+        if store_fn is not None:
+            store_fn(member)
+        if probe_fn is not None:
+            value = probe_fn(member)
+            if value is not None:
+                result.found = True
+                if result.hit_node is None:
+                    result.hit_node = member
+                    result.hit_value = value
+                if member != origin:
+                    reply = net.route(member, origin)
+                    result.messages += reply.data_messages
+                    result.routing_messages += reply.routing_messages
+                    if reply.success:
+                        result.reply_delivered = True
+                    elif result.reply_delivered is None:
+                        result.reply_delivered = False
+                else:
+                    result.reply_delivered = True
+    result.quorum = sorted(set(result.quorum))
+    return reached
+
+
+class MajorityStrategy(AccessStrategy):
+    """Strict majority quorums accessed through routing."""
+
+    name = "MAJORITY"
+    uniform_random = False
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng
+
+    def _members(self, net: SimNetwork, origin: int) -> List[int]:
+        alive = net.alive_nodes()
+        needed = len(alive) // 2 + 1
+        rng = self.rng or net.rngs.stream("majority-strategy")
+        pool = [v for v in alive if v != origin]
+        rng.shuffle(pool)
+        members = [origin] + pool
+        return members[:needed]
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        members = self._members(net, origin)
+        reached = _contact_all(net, origin, members, result,
+                               store_fn=store_fn)
+        # Strict semantics: the write commits only with a full majority.
+        result.success = reached >= len(members)
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+        members = self._members(net, origin)
+        reached = _contact_all(net, origin, members, result,
+                               probe_fn=probe_fn)
+        complete = reached >= len(members)
+        if result.found:
+            result.success = bool(result.reply_delivered)
+        else:
+            result.success = complete
+        return result
+
+
+class GridConfiguration:
+    """A fixed sqrt(n) x sqrt(n) arrangement of node ids.
+
+    Shared by the advertise (row) and lookup (column) strategies; must be
+    explicitly :meth:`reconfigure`-d after membership changes — the
+    costly step probabilistic quorums do away with.
+    """
+
+    def __init__(self, net: SimNetwork) -> None:
+        self.net = net
+        self.members: List[int] = []
+        self.side = 0
+        self.reconfigure()
+
+    def reconfigure(self) -> None:
+        """Rebuild the grid from the current alive set."""
+        alive = self.net.alive_nodes()
+        self.side = max(1, int(math.floor(math.sqrt(len(alive)))))
+        usable = self.side * self.side
+        self.members = alive[:usable]
+
+    def row(self, index: int) -> List[int]:
+        index %= self.side
+        return self.members[index * self.side:(index + 1) * self.side]
+
+    def column(self, index: int) -> List[int]:
+        index %= self.side
+        return self.members[index::self.side]
+
+    def row_of(self, node: int) -> int:
+        if node in self.members:
+            return self.members.index(node) // self.side
+        return node % self.side
+
+    def column_of(self, node: int) -> int:
+        if node in self.members:
+            return self.members.index(node) % self.side
+        return node % self.side
+
+
+class GridStrategy(AccessStrategy):
+    """One side of a grid biquorum: rows advertise, columns look up."""
+
+    uniform_random = False
+
+    def __init__(self, grid: GridConfiguration, axis: str = "row") -> None:
+        if axis not in ("row", "column"):
+            raise ValueError("axis must be 'row' or 'column'")
+        self.grid = grid
+        self.axis = axis
+        self.name = f"GRID-{axis.upper()}"
+
+    def _members(self, origin: int) -> List[int]:
+        if self.axis == "row":
+            return self.grid.row(self.grid.row_of(origin))
+        return self.grid.column(self.grid.column_of(origin))
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        members = self._members(origin)
+        reached = _contact_all(net, origin, members, result,
+                               store_fn=store_fn)
+        # Strict grid semantics: every row member must be written, or the
+        # row/column intersection guarantee is void.
+        result.success = reached >= len(members)
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+        members = self._members(origin)
+        reached = _contact_all(net, origin, members, result,
+                               probe_fn=probe_fn)
+        complete = reached >= len(members)
+        if result.found:
+            result.success = bool(result.reply_delivered)
+        else:
+            result.success = complete
+        return result

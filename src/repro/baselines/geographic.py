@@ -1,0 +1,184 @@
+"""Geographic (GHT/GLS-style) location service baseline.
+
+The paper explicitly forgoes geographic knowledge ("as GPS and other
+accurate positioning techniques may not always be available... we look
+for quorum systems that do not rely on geographical knowledge",
+Section 1).  This baseline implements what that choice gives up — and
+what it avoids:
+
+* keys hash to a *home point* in the deployment area (geographic hash
+  table, GHT);
+* advertisements are greedily geo-routed to the node currently nearest
+  the home point (the *home node*) and replicated on its ``replication``
+  nearest neighbors (GHT's perimeter replication);
+* lookups geo-route to the same point and query the nodes found there.
+
+Strengths: no quorums, O(diameter) messages per operation.  Weaknesses —
+the ones the paper's probabilistic quorums dodge: greedy routing can hit
+voids (sparse networks), the scheme needs every node to know its own
+position, and under mobility the home node drifts away from the stored
+data unless it is continually handed off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.geometry.space import Point
+from repro.simnet.network import SimNetwork
+
+
+def geographic_hash(key: Hashable, side: float) -> Point:
+    """Deterministic hash of a key to a point in the deployment square."""
+    digest = hashlib.sha256(str(key).encode()).digest()
+    x = int.from_bytes(digest[:8], "big") / 2 ** 64
+    y = int.from_bytes(digest[8:16], "big") / 2 ** 64
+    return (x * side, y * side)
+
+
+@dataclass
+class GeoRouteResult:
+    """Outcome of one greedy geographic routing attempt."""
+
+    reached: Optional[int]      # node nearest the target point, or None
+    path: List[int] = field(default_factory=list)
+    messages: int = 0
+    stuck: bool = False         # greedy void: no neighbor closer
+
+
+def greedy_route(net: SimNetwork, origin: int, target: Point,
+                 max_hops: Optional[int] = None) -> GeoRouteResult:
+    """Greedy geographic forwarding toward ``target``.
+
+    Each node forwards to its known neighbor closest to the target; the
+    route ends at the node that is closer to the target than all of its
+    neighbors (the home node), or gets *stuck* when a forwarding attempt
+    fails and no alternative neighbor makes progress.
+    """
+    if not net.is_alive(origin):
+        return GeoRouteResult(reached=None, stuck=True)
+    if max_hops is None:
+        max_hops = 4 * int(math.sqrt(net.n_alive)) + 16
+    current = origin
+    path = [origin]
+    messages = 0
+    for _ in range(max_hops):
+        my_dist = net.distance(net.position(current), target)
+        candidates = sorted(
+            (v for v in net.known_neighbors(current)),
+            key=lambda v: net.distance(net.position(v), target)
+            if net.is_alive(v) else math.inf)
+        advanced = False
+        for candidate in candidates:
+            if not net.is_alive(candidate):
+                continue
+            cand_dist = net.distance(net.position(candidate), target)
+            if cand_dist >= my_dist:
+                break  # sorted: nobody makes progress
+            messages += 1
+            if net.one_hop_unicast(current, candidate):
+                current = candidate
+                path.append(candidate)
+                advanced = True
+                break
+        if not advanced:
+            # Local minimum: current is the node nearest the target (the
+            # home node), or we are stuck at a void with failed links.
+            return GeoRouteResult(reached=current, path=path,
+                                  messages=messages, stuck=False)
+    return GeoRouteResult(reached=current, path=path, messages=messages,
+                          stuck=True)
+
+
+@dataclass
+class GeoOpResult:
+    """Outcome of one advertise/lookup against the geographic service."""
+
+    success: bool
+    messages: int
+    home_node: Optional[int]
+    value: Any = None
+
+
+class GeographicLocationService:
+    """GHT-style key-value location service with home-node replication."""
+
+    def __init__(self, net: SimNetwork, replication: int = 3,
+                 rng: Optional[random.Random] = None) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.net = net
+        self.replication = replication
+        self.rng = rng or net.rngs.stream("geo-service")
+        self._stores: Dict[int, Dict[Hashable, Any]] = {}
+
+    # -- storage --------------------------------------------------------
+
+    def _store_at(self, node: int, key: Hashable, value: Any) -> None:
+        self._stores.setdefault(node, {})[key] = value
+
+    def _probe(self, node: int, key: Hashable) -> Optional[Any]:
+        if not self.net.is_alive(node):
+            return None
+        return self._stores.get(node, {}).get(key)
+
+    def replicas_of(self, key: Hashable) -> List[int]:
+        return sorted(node for node, table in self._stores.items()
+                      if key in table and self.net.is_alive(node))
+
+    # -- operations --------------------------------------------------------
+
+    def _home_set(self, home: int) -> List[int]:
+        """The home node plus its nearest alive neighbors (replicas)."""
+        neighbors = sorted(
+            (v for v in self.net.true_neighbors(home)),
+            key=lambda v: self.net.distance(self.net.position(home),
+                                            self.net.position(v)))
+        return [home] + neighbors[:self.replication - 1]
+
+    def advertise(self, origin: int, key: Hashable, value: Any) -> GeoOpResult:
+        target = geographic_hash(key, self.net.config.side)
+        route = greedy_route(self.net, origin, target)
+        if route.reached is None or route.stuck:
+            return GeoOpResult(success=False, messages=route.messages,
+                               home_node=route.reached)
+        messages = route.messages
+        home = route.reached
+        for replica in self._home_set(home):
+            if replica != home:
+                messages += 1
+                if not self.net.one_hop_unicast(home, replica):
+                    continue
+            self._store_at(replica, key, value)
+        return GeoOpResult(success=True, messages=messages, home_node=home)
+
+    def lookup(self, origin: int, key: Hashable) -> GeoOpResult:
+        target = geographic_hash(key, self.net.config.side)
+        route = greedy_route(self.net, origin, target)
+        if route.reached is None:
+            return GeoOpResult(success=False, messages=route.messages,
+                               home_node=None)
+        messages = route.messages
+        home = route.reached
+        # Query the home set: with mobility or churn the data may now sit
+        # on a node *near* the hash point rather than the exact nearest.
+        value = None
+        for candidate in self._home_set(home):
+            value = self._probe(candidate, key)
+            if candidate != home:
+                messages += 1
+            if value is not None:
+                break
+        if value is None:
+            return GeoOpResult(success=False, messages=messages,
+                               home_node=home)
+        # Reply travels the reverse greedy path.
+        from repro.randomwalk.reply import reverse_path_of, send_reply
+        reply = send_reply(self.net, reverse_path_of(route.path))
+        messages += reply.messages
+        return GeoOpResult(success=reply.success, messages=messages,
+                           home_node=home, value=value)

@@ -1,0 +1,270 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig10 --n 200 --lookups 100
+    python -m repro fig7 --epsilon 0.05
+    python -m repro quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+import repro.experiments as ex
+from repro.analysis import figure3_table, figure6_table
+from repro.experiments import format_table
+
+
+def _fig3(args) -> str:
+    rows = figure3_table(args.n)
+    return "Figure 3 (asymptotic strategy comparison)\n" + format_table(
+        ["strategy", "accessed", "cost", "routing?", "membership?",
+         "replies", "early halt?"],
+        [(r["strategy"], r["accessed_nodes"], r["cost_rgg"],
+          r["needs_routing"], r["needs_membership"], r["lookup_replies"],
+          r["early_halting"]) for r in rows])
+
+
+def _fig4(args) -> str:
+    points = ex.pct_by_network_size(sizes=(args.n // 2, args.n),
+                                    walks=args.walks)
+    points += ex.pct_by_density(densities=(7, 10, 20), n=args.n,
+                                walks=args.walks)
+    return "Figure 4 (partial cover time)\n" + format_table(
+        ["n", "d_avg", "target", "self-avoiding", "steps/unique"],
+        [(p.n, p.avg_degree, p.unique_target, p.unique, p.steps_per_unique)
+         for p in points])
+
+
+def _fig5(args) -> str:
+    points = ex.flooding_coverage(n=args.n, ttls=tuple(range(1, 6)))
+    return "Figure 5 (flooding coverage)\n" + format_table(
+        ["n", "ttl", "coverage", "messages", "CG"],
+        [(p.n, p.ttl, p.coverage, p.messages, p.granularity)
+         for p in points])
+
+
+def _fig6(args) -> str:
+    combos = figure6_table(args.n)
+    return "Figure 6 (combination costs)\n" + format_table(
+        ["advertise", "lookup", "adv cost", "lookup cost", "combined"],
+        [(c.advertise, c.lookup, c.advertise_cost, c.lookup_cost, c.combined)
+         for c in combos])
+
+
+def _fig7(args) -> str:
+    points = ex.degradation_curves(epsilon=args.epsilon, n=args.n,
+                                   trials=args.trials)
+    return "Figure 7 (degradation under churn)\n" + format_table(
+        ["mode", "f", "analytic", "simulated"],
+        [(p.mode, p.f, p.analytic_intersection, p.simulated_intersection)
+         for p in points])
+
+
+def _fig8(args) -> str:
+    adv = ex.random_advertise_cost(sizes=(args.n,), n_keys=args.keys)
+    look = ex.random_lookup_hit_ratio(sizes=(args.n,), n_keys=args.keys,
+                                      n_lookups=args.lookups)
+    out = "Figure 8(a,b) (RANDOM advertise cost)\n" + format_table(
+        ["n", "|Qa|", "msgs", "routing"],
+        [(p.n, p.quorum_size, p.avg_messages, p.avg_routing) for p in adv])
+    out += "\n\nFigure 8(c) (RANDOM lookup hit ratio)\n" + format_table(
+        ["n", "|Ql|", "factor", "hit", "msgs"],
+        [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
+          p.avg_messages) for p in look])
+    return out
+
+
+def _fig9(args) -> str:
+    points = ex.random_opt_lookup(n=args.n, mobility=args.mobility,
+                                  n_keys=args.keys, n_lookups=args.lookups)
+    return "Figure 9 (RANDOM-OPT lookup)\n" + format_table(
+        ["n", "X", "hit", "msgs", "routing", "probed"],
+        [(p.n, p.initiations, p.hit_ratio, p.avg_messages, p.avg_routing,
+          p.avg_quorum_size) for p in points])
+
+
+def _fig10(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    points = ex.unique_path_lookup(n=args.n, mobility=args.mobility,
+                                   n_keys=args.keys, n_lookups=args.lookups)
+    table = format_table(
+        ["n", "|Ql|", "factor", "hit", "msgs", "msgs(hit)", "msgs(miss)"],
+        [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
+          p.avg_messages, p.avg_messages_on_hit, p.avg_messages_on_miss)
+         for p in points])
+    chart = render_series(
+        {"hit ratio": [(p.lookup_size_factor, p.hit_ratio) for p in points]},
+        x_label="|Ql| / sqrt(n)", y_label="hit ratio")
+    return f"Figure 10 (UNIQUE-PATH lookup)\n{table}\n\n{chart}"
+
+
+def _fig11(args) -> str:
+    points = ex.flooding_lookup(n=args.n, mobility=args.mobility,
+                                n_keys=args.keys, n_lookups=args.lookups)
+    return "Figure 11 (FLOODING lookup)\n" + format_table(
+        ["n", "ttl", "hit", "msgs", "coverage"],
+        [(p.n, p.ttl, p.hit_ratio, p.avg_messages, p.avg_coverage)
+         for p in points])
+
+
+def _fig12(args) -> str:
+    points = ex.path_x_path(n=args.n, n_keys=args.keys,
+                            n_lookups=args.lookups)
+    return "Figure 12 (UNIQUE-PATH x UNIQUE-PATH)\n" + format_table(
+        ["n", "|Q|/side", "combined/n", "hit", "adv msgs", "lookup msgs"],
+        [(p.n, p.quorum_size, p.combined_fraction, p.hit_ratio,
+          p.avg_advertise_messages, p.avg_lookup_messages) for p in points])
+
+
+def _fig13(args) -> str:
+    points = ex.mobility_sweep(n=args.n, local_repair=False,
+                               n_keys=args.keys, n_lookups=args.lookups)
+    return "Figure 13 (fast mobility, no repair)\n" + format_table(
+        ["speed", "hit", "intersection", "drops", "msgs"],
+        [(p.max_speed, p.hit_ratio, p.intersection_ratio,
+          p.reply_drop_ratio, p.avg_messages) for p in points])
+
+
+def _fig14(args) -> str:
+    points = ex.mobility_sweep(n=args.n, local_repair=True,
+                               n_keys=args.keys, n_lookups=args.lookups)
+    churn = ex.churn_sweep(n=args.n, n_keys=args.keys,
+                           n_lookups=args.lookups)
+    out = "Figure 14(a-d) (reply-path repair)\n" + format_table(
+        ["speed", "hit", "drops", "msgs", "routing"],
+        [(p.max_speed, p.hit_ratio, p.reply_drop_ratio, p.avg_messages,
+          p.avg_routing) for p in points])
+    out += "\n\nFigure 14(f) (churn)\n" + format_table(
+        ["f", "hit", "analytic floor"],
+        [(p.churn_fraction, p.hit_ratio, p.analytic_floor) for p in churn])
+    return out
+
+
+def _fig15(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    curves = ex.lookup_tradeoff_curves(n=args.n, n_keys=args.keys,
+                                       n_lookups=args.lookups)
+    rows = []
+    for name, points in curves.items():
+        rows.extend((name, p.knob, p.hit_ratio, p.avg_messages,
+                     p.avg_routing) for p in points)
+    table = format_table(
+        ["strategy", "knob", "hit", "msgs", "routing"], rows)
+    chart = render_series(
+        {name: [(p.avg_messages, p.hit_ratio) for p in points]
+         for name, points in curves.items()},
+        x_label="messages/lookup", y_label="hit ratio")
+    return f"Figure 15 (lookup strategy comparison)\n{table}\n\n{chart}"
+
+
+def _fig16(args) -> str:
+    rows = ex.summary_table(n=args.n, n_keys=args.keys,
+                            n_lookups=args.lookups)
+    return "Figure 16 (summary)\n" + ex.render_summary(rows)
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
+    "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
+    "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig14": _fig14,
+    "fig15": _fig15, "fig16": _fig16,
+}
+
+DESCRIPTIONS = {
+    "fig3": "asymptotic strategy comparison table",
+    "fig4": "random-walk partial cover time",
+    "fig5": "flooding coverage vs TTL",
+    "fig6": "strategy combination costs",
+    "fig7": "intersection degradation under churn",
+    "fig8": "RANDOM advertise cost / lookup hit ratio",
+    "fig9": "RANDOM-OPT lookup",
+    "fig10": "UNIQUE-PATH lookup (headline result)",
+    "fig11": "FLOODING lookup",
+    "fig12": "UNIQUE-PATH x UNIQUE-PATH",
+    "fig13": "fast mobility without reply repair",
+    "fig14": "reply-path repair + churn",
+    "fig15": "lookup strategy trade-off curves",
+    "fig16": "summary cost table",
+}
+
+
+def collect_report(results_dir: str) -> str:
+    """Aggregate all recorded benchmark tables into one report."""
+    from pathlib import Path
+
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return (f"no results at {directory} — run "
+                "`pytest benchmarks/ --benchmark-only` first")
+    sections = []
+    for path in sorted(directory.glob("*.txt")):
+        sections.append(f"## {path.stem}\n\n{path.read_text().rstrip()}")
+    if not sections:
+        return f"no recorded results in {directory}"
+    header = ("# Regenerated evaluation — Probabilistic Quorum Systems "
+              "in Wireless Ad Hoc Networks\n")
+    return header + "\n\n".join(sections) + "\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Probabilistic quorum systems "
+                    "in wireless ad hoc networks' (Friedman, Kliot, Avin).")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available figures")
+    report = sub.add_parser(
+        "report", help="aggregate benchmarks/results/ into one document")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    for name in FIGURES:
+        p = sub.add_parser(name, help=DESCRIPTIONS[name])
+        p.add_argument("--n", type=int, default=200,
+                       help="network size (default 200; paper uses 800)")
+        p.add_argument("--keys", type=int, default=10,
+                       help="number of advertisements")
+        p.add_argument("--lookups", type=int, default=60,
+                       help="number of lookups")
+        p.add_argument("--walks", type=int, default=8,
+                       help="walks per PCT point (fig4)")
+        p.add_argument("--trials", type=int, default=400,
+                       help="Monte-Carlo trials (fig7)")
+        p.add_argument("--epsilon", type=float, default=0.05,
+                       help="initial epsilon (fig7)")
+        p.add_argument("--mobility", choices=("static", "waypoint"),
+                       default="static")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available figures:")
+        for name, desc in DESCRIPTIONS.items():
+            print(f"  {name:7} {desc}")
+        print("\nexample: python -m repro fig10 --n 200 --lookups 100")
+        return 0
+    if args.command == "report":
+        text = collect_report(args.results_dir)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return 0
+    print(FIGURES[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

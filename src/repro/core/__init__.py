@@ -1,0 +1,33 @@
+"""Core contribution: probabilistic biquorum systems and access strategies."""
+
+from repro.core.biquorum import (
+    ProbabilisticBiquorum,
+    QuorumSizing,
+    plan_sizes,
+)
+from repro.core.gossip import GossipFloodStrategy
+from repro.core.strategies import (
+    AccessResult,
+    AccessStrategy,
+    FloodingStrategy,
+    PathStrategy,
+    RandomOptStrategy,
+    RandomSamplingStrategy,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+
+__all__ = [
+    "GossipFloodStrategy",
+    "ProbabilisticBiquorum",
+    "QuorumSizing",
+    "plan_sizes",
+    "AccessResult",
+    "AccessStrategy",
+    "FloodingStrategy",
+    "PathStrategy",
+    "RandomOptStrategy",
+    "RandomSamplingStrategy",
+    "RandomStrategy",
+    "UniquePathStrategy",
+]

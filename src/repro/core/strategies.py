@@ -1,0 +1,646 @@
+"""Quorum access strategies (Section 4): RANDOM, RANDOM-OPT, PATH,
+UNIQUE-PATH, FLOODING.
+
+Every strategy implements the same two operations against a live
+:class:`~repro.simnet.network.SimNetwork`:
+
+* ``advertise(net, origin, store_fn, target_size)`` — contact a quorum of
+  nodes and have each run ``store_fn(node)`` (e.g. store an advertisement);
+* ``lookup(net, origin, probe_fn, target_size)`` — contact a quorum of
+  nodes, running ``probe_fn(node)`` at each; a non-None probe result is a
+  *hit*, which (for reply-carrying strategies) is shipped back to the
+  originator.
+
+All message accounting follows the paper's convention (Section 8): the
+``messages`` field counts network-layer transmissions (a 4-hop routed
+application message counts 4), while routing control traffic (AODV
+discovery/maintenance) is reported separately in ``routing_messages``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Set
+
+from repro.analysis.flooding import DEFAULT_KAPPA, ttl_for_coverage
+from repro.randomwalk.reply import reverse_path_of, send_reply
+from repro.randomwalk.walker import max_degree_walk_sample, random_walk
+from repro.simnet.network import SimNetwork
+
+StoreFn = Callable[[int], None]
+ProbeFn = Callable[[int], Optional[Any]]
+
+
+@dataclass
+class AccessResult:
+    """Outcome and cost accounting of one quorum access."""
+
+    strategy: str
+    kind: str                        # "advertise" | "lookup"
+    quorum: List[int] = field(default_factory=list)  # distinct nodes reached
+    messages: int = 0                # network-layer messages (incl. replies)
+    routing_messages: int = 0        # routing control overhead
+    success: bool = False            # access achieved its goal
+    found: bool = False              # lookup: some probed node had the datum
+    hit_node: Optional[int] = None
+    hit_value: Any = None
+    reply_delivered: Optional[bool] = None  # None if no reply was needed
+    target_size: int = 0
+    overheard: bool = False          # hit came from promiscuous overhearing
+    latency: float = 0.0             # simulated seconds the access took
+
+    @property
+    def quorum_size(self) -> int:
+        return len(self.quorum)
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages + self.routing_messages
+
+
+class AccessStrategy(ABC):
+    """Base class for quorum access strategies."""
+
+    #: Strategy name (matches :mod:`repro.analysis.costs` constants).
+    name: str = "?"
+    #: Whether accesses hit uniformly random nodes — i.e. whether this
+    #: strategy can serve as the RANDOM side of the mix-and-match lemma.
+    uniform_random: bool = False
+
+    @abstractmethod
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        """Contact an advertise quorum, storing at each member."""
+
+    @abstractmethod
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        """Contact a lookup quorum, probing each member."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# RANDOM (membership-based, Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+class RandomStrategy(AccessStrategy):
+    """Uniform-random quorum via a membership service plus unicast routing.
+
+    The method of Malkhi et al.: pick ``|Q|`` uniformly random node ids
+    from the membership view and contact each through multi-hop routing.
+    On a routing failure the strategy *adapts* (Section 6.2): it picks a
+    replacement random node rather than retrying the dead one.
+
+    ``serial_lookup=True`` contacts lookup targets one at a time and stops
+    at the first delivered hit (the early-halting variant the paper notes
+    would halve the accessed nodes at a latency cost); the default is the
+    paper's parallel access.
+    """
+
+    name = "RANDOM"
+    uniform_random = True
+
+    def __init__(self, membership: Any, rng: Optional[random.Random] = None,
+                 serial_lookup: bool = False, adaptation_retries: int = 2) -> None:
+        self.membership = membership
+        self.rng = rng
+        self.serial_lookup = serial_lookup
+        self.adaptation_retries = adaptation_retries
+
+    def _rng(self, net: SimNetwork) -> random.Random:
+        return self.rng or net.rngs.stream("random-strategy")
+
+    def _pick_targets(self, net: SimNetwork, origin: int, k: int) -> List[int]:
+        return self.membership.sample_for(origin, k, self._rng(net))
+
+    def _reach(self, net: SimNetwork, origin: int, target: int,
+               result: AccessResult) -> bool:
+        route = net.route(origin, target)
+        result.messages += route.data_messages
+        result.routing_messages += route.routing_messages
+        return route.success
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        reached: Set[int] = set()
+        targets = self._pick_targets(net, origin, target_size)
+        rng = self._rng(net)
+        for target in targets:
+            attempts = 0
+            current = target
+            while attempts <= self.adaptation_retries:
+                if current not in reached and self._reach(net, origin, current,
+                                                          result):
+                    reached.add(current)
+                    store_fn(current)
+                    break
+                attempts += 1
+                replacements = self.membership.sample_for(origin, 1, rng)
+                candidates = [r for r in replacements if r not in reached]
+                if not candidates:
+                    break
+                current = candidates[0]
+        result.quorum = sorted(reached)
+        result.success = len(reached) >= min(target_size,
+                                             max(1, net.n_alive - 1))
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+        reached: Set[int] = set()
+        targets = self._pick_targets(net, origin, target_size)
+        rng = self._rng(net)
+        for target in targets:
+            attempts = 0
+            current = target
+            while attempts <= self.adaptation_retries:
+                if current in reached:
+                    pass
+                elif self._reach(net, origin, current, result):
+                    reached.add(current)
+                    value = probe_fn(current)
+                    if value is not None:
+                        result.found = True
+                        if result.hit_node is None:
+                            result.hit_node = current
+                            result.hit_value = value
+                        # Hit: the storing node replies via routing.
+                        reply = net.route(current, origin)
+                        result.messages += reply.data_messages
+                        result.routing_messages += reply.routing_messages
+                        if reply.success:
+                            result.reply_delivered = True
+                        elif result.reply_delivered is None:
+                            result.reply_delivered = False
+                    break
+                attempts += 1
+                replacements = self.membership.sample_for(origin, 1, rng)
+                candidates = [r for r in replacements if r not in reached]
+                if not candidates:
+                    break
+                current = candidates[0]
+            if (self.serial_lookup and result.found
+                    and result.reply_delivered):
+                break
+        result.quorum = sorted(reached)
+        result.success = bool(result.found and result.reply_delivered) or (
+            not result.found and len(reached) >= min(target_size,
+                                                     max(1, net.n_alive - 1)))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# RANDOM (direct sampling via max-degree walks, Section 4.1)
+# ---------------------------------------------------------------------------
+
+
+class RandomSamplingStrategy(AccessStrategy):
+    """Uniform-random quorum with no membership service: each member is the
+    end node of a max-degree random walk of ~mixing-time length (RaWMS).
+
+    Expensive (Theta(|Q| * T_mix) messages) but fully routing-free.
+    Replies travel back over the sampling walk's reverse path.
+    """
+
+    name = "RANDOM-SAMPLING"
+    uniform_random = True
+
+    def __init__(self, walk_length: Optional[int] = None,
+                 rng: Optional[random.Random] = None,
+                 max_extra_walks: int = 8) -> None:
+        self.walk_length = walk_length
+        self.rng = rng
+        self.max_extra_walks = max_extra_walks
+
+    def _rng(self, net: SimNetwork) -> random.Random:
+        return self.rng or net.rngs.stream("sampling-strategy")
+
+    def _collect(self, net: SimNetwork, origin: int, k: int,
+                 result: AccessResult,
+                 on_member: Callable[[int, List[int]], bool]) -> None:
+        """Run MD walks until ``k`` distinct members were accessed.
+
+        ``on_member(node, walk_path)`` returns True to halt the access.
+        """
+        rng = self._rng(net)
+        members: Set[int] = set()
+        budget = k + self.max_extra_walks
+        walks = 0
+        while len(members) < k and walks < budget:
+            walks += 1
+            sample = max_degree_walk_sample(
+                net, origin, walk_length=self.walk_length, rng=rng)
+            result.messages += sample.messages
+            if sample.node is None or sample.node in members:
+                continue  # collision or dropped walk: start another
+            members.add(sample.node)
+            if on_member(sample.node, sample.path):
+                break
+        result.quorum = sorted(members)
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+
+        def on_member(node: int, _path: List[int]) -> bool:
+            store_fn(node)
+            return False
+
+        self._collect(net, origin, target_size, result, on_member)
+        result.success = len(result.quorum) >= min(target_size,
+                                                   max(1, net.n_alive - 1))
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+
+        def on_member(node: int, path: List[int]) -> bool:
+            value = probe_fn(node)
+            if value is None:
+                return False
+            result.found = True
+            result.hit_node = node
+            result.hit_value = value
+            reply = send_reply(net, reverse_path_of(path), reduction=True)
+            result.messages += reply.messages
+            result.routing_messages += reply.routing_messages
+            result.reply_delivered = reply.success
+            return False  # paper's parallel semantics: no early halt
+
+        self._collect(net, origin, target_size, result, on_member)
+        result.success = bool(result.found and result.reply_delivered) or (
+            not result.found
+            and len(result.quorum) >= min(target_size,
+                                          max(1, net.n_alive - 1)))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# PATH / UNIQUE-PATH (Sections 4.2, 4.3)
+# ---------------------------------------------------------------------------
+
+
+class PathStrategy(AccessStrategy):
+    """Random-walk quorum access.
+
+    ``unique=True`` gives UNIQUE-PATH (self-avoiding walk, Section 4.3).
+    Lookup walks halt early on the first hit (Section 7.1) when
+    ``early_halting`` is set, and the hit node replies over the reverse
+    walk path with optional path reduction (Section 7.2) and local repair
+    (Section 6.2).
+    """
+
+    name = "PATH"
+    uniform_random = False
+
+    def __init__(self, unique: bool = False, salvation: bool = True,
+                 early_halting: bool = True, reply_reduction: bool = True,
+                 local_repair: bool = False, repair_ttl: int = 3,
+                 allow_global_repair: bool = True,
+                 overhearing: bool = False,
+                 rng: Optional[random.Random] = None) -> None:
+        self.unique = unique
+        self.salvation = salvation
+        self.early_halting = early_halting
+        self.reply_reduction = reply_reduction
+        self.local_repair = local_repair
+        self.repair_ttl = repair_ttl
+        self.allow_global_repair = allow_global_repair
+        #: Section 7.2: nodes overhear walk frames in promiscuous mode; a
+        #: neighbor of the walk's current node that holds the datum replies
+        #: immediately, effectively widening the quorum to the walk's whole
+        #: one-hop neighborhood (the paper left evaluating this to future
+        #: work; we implement and ablate it).
+        self.overhearing = overhearing
+        self.rng = rng
+        if unique:
+            self.name = "UNIQUE-PATH"
+
+    def _rng(self, net: SimNetwork) -> random.Random:
+        return self.rng or net.rngs.stream("path-strategy")
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        walk = random_walk(net, origin, target_unique=target_size,
+                           unique=self.unique, salvation=self.salvation,
+                           visit=store_fn, rng=self._rng(net))
+        result.quorum = sorted(walk.visited)
+        result.messages = walk.messages
+        result.success = walk.completed
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+
+        def stop(node: int) -> bool:
+            value = probe_fn(node)
+            if value is not None:
+                result.found = True
+                result.hit_node = node
+                result.hit_value = value
+                return self.early_halting
+            if self.overhearing:
+                # Promiscuous neighbors heard the walk frame; any that
+                # stores the datum unicasts it to the current node, which
+                # halts the walk (Section 7.2).
+                for neighbor in net.true_neighbors(node):
+                    value = probe_fn(neighbor)
+                    if value is not None:
+                        result.messages += 1  # neighbor -> current node
+                        result.found = True
+                        result.overheard = True
+                        result.hit_node = node  # reply continues from here
+                        result.hit_value = value
+                        return self.early_halting
+            return False
+
+        walk = random_walk(net, origin, target_unique=target_size,
+                           unique=self.unique, salvation=self.salvation,
+                           stop_predicate=stop, rng=self._rng(net))
+        result.quorum = sorted(walk.visited)
+        result.messages += walk.messages
+        if result.found:
+            hit = result.hit_node
+            assert hit is not None
+            if hit == origin:
+                result.reply_delivered = True
+            else:
+                # Reply travels the reverse walk path (no routing).
+                cut = walk.path.index(hit) if hit in walk.path else len(walk.path) - 1
+                reply = send_reply(
+                    net, reverse_path_of(walk.path[:cut + 1]),
+                    reduction=self.reply_reduction,
+                    local_repair=self.local_repair,
+                    repair_ttl=self.repair_ttl,
+                    allow_global_repair=self.allow_global_repair,
+                )
+                result.messages += reply.messages
+                result.routing_messages += reply.routing_messages
+                result.reply_delivered = reply.success
+            result.success = bool(result.reply_delivered)
+        else:
+            result.success = walk.completed
+        return result
+
+
+class UniquePathStrategy(PathStrategy):
+    """Self-avoiding random-walk access (UNIQUE-PATH, Section 4.3)."""
+
+    def __init__(self, **kwargs: Any) -> None:
+        kwargs.pop("unique", None)
+        super().__init__(unique=True, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# FLOODING (Section 4.4)
+# ---------------------------------------------------------------------------
+
+
+class FloodingStrategy(AccessStrategy):
+    """TTL-scoped flooding access.
+
+    Two TTL selection modes from the paper:
+
+    * *analytic* (default): the deployment density is known, so the TTL for
+      a target quorum size comes from the coverage model
+      (:func:`repro.analysis.flooding.ttl_for_coverage`);
+    * *expanding ring* (``expanding_ring=True``): successive floods with
+      growing TTL until enough nodes acked, robust to unknown density but
+      costlier.
+
+    A fixed ``ttl`` overrides both (used by the Figure 11 sweeps).
+    Lookup hits reply along the reverse flood tree.
+    """
+
+    name = "FLOODING"
+    uniform_random = False
+
+    def __init__(self, ttl: Optional[int] = None, expanding_ring: bool = False,
+                 kappa: float = DEFAULT_KAPPA,
+                 count_acks: bool = True) -> None:
+        self.ttl = ttl
+        self.expanding_ring = expanding_ring
+        self.kappa = kappa
+        self.count_acks = count_acks
+
+    def _analytic_ttl(self, net: SimNetwork, target_size: int) -> int:
+        target = min(target_size, net.n_alive)
+        return max(1, ttl_for_coverage(net.n_alive, net.config.avg_degree,
+                                       target, self.kappa))
+
+    def _flood_to_target(self, net: SimNetwork, origin: int, target_size: int,
+                         result: AccessResult):
+        if self.ttl is not None:
+            outcome = net.flood(origin, self.ttl)
+            result.messages += outcome.messages
+            return outcome
+        if not self.expanding_ring:
+            outcome = net.flood(origin, self._analytic_ttl(net, target_size))
+            result.messages += outcome.messages
+            return outcome
+        # Expanding ring: grow the TTL until coverage suffices.  Covered
+        # nodes acknowledge so the originator can count them; acks are
+        # combined along the reverse tree (one message per covered node).
+        ttl = 1
+        outcome = net.flood(origin, ttl)
+        result.messages += outcome.messages
+        if self.count_acks:
+            result.messages += max(0, outcome.coverage - 1)
+        while outcome.coverage < min(target_size, net.n_alive) and ttl < 64:
+            ttl += 1
+            outcome = net.flood(origin, ttl)
+            result.messages += outcome.messages
+            if self.count_acks:
+                result.messages += max(0, outcome.coverage - 1)
+        return outcome
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        outcome = self._flood_to_target(net, origin, target_size, result)
+        for node in outcome.covered:
+            store_fn(node)
+        result.quorum = sorted(outcome.covered)
+        result.success = outcome.coverage >= min(target_size, net.n_alive)
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+        outcome = self._flood_to_target(net, origin, target_size, result)
+        result.quorum = sorted(outcome.covered)
+        delivered_any = False
+        for node in outcome.covered:
+            value = probe_fn(node)
+            if value is None:
+                continue
+            result.found = True
+            if result.hit_node is None:
+                result.hit_node = node
+                result.hit_value = value
+            # Every hit node replies along the reverse flood tree
+            # (FLOODING sends multiple redundant replies, Section 4.4).
+            if node == origin:
+                delivered_any = True
+                continue
+            reply = send_reply(net, outcome.reverse_path(node),
+                               reduction=True)
+            result.messages += reply.messages
+            result.routing_messages += reply.routing_messages
+            delivered_any = delivered_any or reply.success
+        if result.found:
+            result.reply_delivered = delivered_any
+            result.success = delivered_any
+        else:
+            result.success = outcome.coverage >= min(target_size,
+                                                     net.n_alive)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# RANDOM-OPT (Section 4.5)
+# ---------------------------------------------------------------------------
+
+
+class RandomOptStrategy(AccessStrategy):
+    """Cross-layer optimised RANDOM (Section 4.5).
+
+    Messages are still routed to uniformly random targets, but every
+    *intermediate* node on the route passes the message to the location
+    layer: lookups probe (and halt the forwarding on a hit, replying to the
+    originator), advertisements are stored en route.  Reaching an effective
+    quorum of ``sqrt(n ln n)`` nodes only takes ~``ln n`` routed messages.
+
+    Note (paper): RANDOM-OPT accesses are *not* uniformly random, so it
+    cannot serve as the RANDOM side of the mix-and-match lemma.
+    """
+
+    name = "RANDOM-OPT"
+    uniform_random = False
+
+    def __init__(self, membership: Any, initiations: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.membership = membership
+        self.initiations = initiations
+        self.rng = rng
+
+    def _rng(self, net: SimNetwork) -> random.Random:
+        return self.rng or net.rngs.stream("random-opt-strategy")
+
+    def default_initiations(self, net: SimNetwork) -> int:
+        """The paper's finding: ~ln(n) initiations give 0.9 intersection."""
+        return max(1, int(round(math.log(max(2, net.n_alive)))))
+
+    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                  target_size: int) -> AccessResult:
+        result = AccessResult(strategy=self.name, kind="advertise",
+                              target_size=target_size)
+        rng = self._rng(net)
+        stored: Set[int] = set()
+        initiations = self.initiations or self.default_initiations(net)
+        sent = 0
+        # Keep initiating routed sends until both the initiation budget is
+        # used AND the en-route quorum reached the target size.
+        while sent < initiations or len(stored) < target_size:
+            targets = self.membership.sample_for(origin, 1, rng)
+            if not targets:
+                break
+            target = targets[0]
+            sent += 1
+            path, routing_cost = net.discover_path(origin, target)
+            result.routing_messages += routing_cost
+            if path is None:
+                continue
+            for a, b in zip(path, path[1:]):
+                result.messages += 1
+                if not net.one_hop_unicast(a, b):
+                    break
+                if b not in stored:
+                    stored.add(b)
+                    store_fn(b)
+            if sent > initiations + 4 * target_size:
+                break  # safety: degenerate topologies
+        if origin not in stored:
+            stored.add(origin)
+            store_fn(origin)
+        result.quorum = sorted(stored)
+        result.success = len(stored) >= min(target_size, net.n_alive)
+        return result
+
+    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+               target_size: int) -> AccessResult:
+        """Send ``initiations`` lookup messages to random targets; every
+        en-route node performs a local lookup and a hit halts forwarding."""
+        result = AccessResult(strategy=self.name, kind="lookup",
+                              target_size=target_size)
+        rng = self._rng(net)
+        probed: Set[int] = set()
+        initiations = self.initiations or self.default_initiations(net)
+
+        def probe(node: int) -> Optional[Any]:
+            if node in probed:
+                return None
+            probed.add(node)
+            return probe_fn(node)
+
+        # The originator itself is part of the lookup quorum.
+        value = probe(origin)
+        if value is not None:
+            result.found = True
+            result.hit_node = origin
+            result.hit_value = value
+            result.reply_delivered = True
+
+        delivered_any = bool(result.found)
+        for _ in range(initiations):
+            targets = self.membership.sample_for(origin, 1, rng)
+            if not targets:
+                break
+            target = targets[0]
+            path, routing_cost = net.discover_path(origin, target)
+            result.routing_messages += routing_cost
+            if path is None:
+                continue
+            for a, b in zip(path, path[1:]):
+                result.messages += 1
+                if not net.one_hop_unicast(a, b):
+                    break
+                value = probe(b)
+                if value is not None:
+                    result.found = True
+                    if result.hit_node is None:
+                        result.hit_node = b
+                        result.hit_value = value
+                    # The hit node replies via routing and instructs its
+                    # network layer to stop forwarding the lookup.
+                    reply = net.route(b, origin)
+                    result.messages += reply.data_messages
+                    result.routing_messages += reply.routing_messages
+                    delivered_any = delivered_any or reply.success
+                    break
+        result.quorum = sorted(probed)
+        if result.found:
+            result.reply_delivered = delivered_any
+            result.success = delivered_any
+        else:
+            result.success = True  # access completed (miss is a valid outcome)
+        return result

@@ -1,0 +1,82 @@
+"""Per-figure experiment drivers (the paper's Section 8 study)."""
+
+from repro.experiments.common import (
+    ScenarioStats,
+    format_table,
+    make_membership,
+    make_network,
+    run_scenario,
+)
+from repro.experiments.fig4_pct import (
+    PctPoint,
+    measure_pct,
+    pct_by_density,
+    pct_by_network_size,
+)
+from repro.experiments.fig5_flooding import (
+    FloodPoint,
+    flooding_by_density,
+    flooding_by_size,
+    flooding_coverage,
+)
+from repro.experiments.fig7_degradation import (
+    CHURN_MODES,
+    DegradationPoint,
+    degradation_curves,
+)
+from repro.experiments.fig8_random import (
+    RandomAdvertisePoint,
+    RandomLookupPoint,
+    random_advertise_cost,
+    random_lookup_hit_ratio,
+)
+from repro.experiments.fig9_random_opt import RandomOptPoint, random_opt_lookup
+from repro.experiments.fig10_unique_path import (
+    UniquePathPoint,
+    ablation_early_halting,
+    unique_path_lookup,
+)
+from repro.experiments.fig11_flooding import FloodingLookupPoint, flooding_lookup
+from repro.experiments.fig12_path_path import PathPathPoint, path_x_path
+from repro.experiments.fig13_14_mobility import (
+    ChurnPoint,
+    MobilityPoint,
+    churn_sweep,
+    mobility_sweep,
+)
+from repro.experiments.ascii_plot import render_series
+from repro.experiments.workloads import (
+    OperationMix,
+    SizingRecommendation,
+    TauEstimator,
+    ZipfKeySampler,
+    generate_operation_mix,
+)
+from repro.experiments.fig15_16_summary import (
+    SummaryRow,
+    TradeoffPoint,
+    lookup_tradeoff_curves,
+    render_summary,
+    summary_table,
+)
+
+__all__ = [
+    "ScenarioStats", "format_table", "make_membership", "make_network",
+    "run_scenario",
+    "PctPoint", "measure_pct", "pct_by_density", "pct_by_network_size",
+    "FloodPoint", "flooding_by_density", "flooding_by_size",
+    "flooding_coverage",
+    "CHURN_MODES", "DegradationPoint", "degradation_curves",
+    "RandomAdvertisePoint", "RandomLookupPoint", "random_advertise_cost",
+    "random_lookup_hit_ratio",
+    "RandomOptPoint", "random_opt_lookup",
+    "UniquePathPoint", "ablation_early_halting", "unique_path_lookup",
+    "FloodingLookupPoint", "flooding_lookup",
+    "PathPathPoint", "path_x_path",
+    "ChurnPoint", "MobilityPoint", "churn_sweep", "mobility_sweep",
+    "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
+    "render_summary", "summary_table",
+    "render_series",
+    "OperationMix", "SizingRecommendation", "TauEstimator",
+    "ZipfKeySampler", "generate_operation_mix",
+]

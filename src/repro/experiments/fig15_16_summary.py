@@ -1,0 +1,169 @@
+"""Figures 15 & 16 — the cross-strategy comparison and the summary table.
+
+Figure 15: hit ratio vs messages-per-lookup curves for the three lookup
+strategies (RANDOM-OPT, UNIQUE-PATH, FLOODING) under RANDOM advertise.
+The paper's shape: UNIQUE-PATH dominates at high intersection targets;
+FLOODING wins only at low targets; RANDOM-OPT is inferior throughout even
+ignoring its routing cost.
+
+Figure 16: the summary cost table at intersection 0.9 — advertise cost and
+per-lookup hit/miss cost for each strategy combination, static and mobile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.strategies import (
+    AccessStrategy,
+    FloodingStrategy,
+    RandomOptStrategy,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.experiments.common import (
+    ScenarioStats,
+    format_table,
+    make_membership,
+    make_network,
+    run_scenario,
+)
+
+
+@dataclass
+class TradeoffPoint:
+    """One (messages, hit-ratio) point on a lookup strategy's curve."""
+
+    strategy: str
+    knob: float                  # the swept parameter (size factor, X, TTL)
+    hit_ratio: float
+    avg_messages: float
+    avg_routing: float
+
+
+def lookup_tradeoff_curves(
+    n: int = 200,
+    n_keys: int = 10,
+    n_lookups: int = 50,
+    advertise_factor: float = 2.0,
+    seed: int = 0,
+) -> Dict[str, List[TradeoffPoint]]:
+    """Figure 15: per-strategy (messages, hit ratio) curves."""
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    curves: Dict[str, List[TradeoffPoint]] = {
+        "UNIQUE-PATH": [], "RANDOM-OPT": [], "FLOODING": [],
+    }
+
+    def run(lookup_strategy: AccessStrategy, ql: int) -> ScenarioStats:
+        net = make_network(n, seed=seed)
+        membership = make_membership(net, "random")
+        if hasattr(lookup_strategy, "membership"):
+            lookup_strategy.membership = membership
+        return run_scenario(
+            net, advertise_strategy=RandomStrategy(membership),
+            lookup_strategy=lookup_strategy,
+            advertise_size=qa, lookup_size=ql,
+            n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1)
+
+    for factor in (0.25, 0.5, 0.75, 1.0, 1.15, 1.5):
+        ql = max(1, int(round(factor * math.sqrt(n))))
+        stats = run(UniquePathStrategy(), ql)
+        curves["UNIQUE-PATH"].append(TradeoffPoint(
+            "UNIQUE-PATH", factor, stats.hit_ratio,
+            stats.avg_lookup_messages, stats.avg_lookup_routing))
+
+    for x in (1, 2, 3, 4, 6):
+        stats = run(RandomOptStrategy(membership=None, initiations=x), 1)
+        curves["RANDOM-OPT"].append(TradeoffPoint(
+            "RANDOM-OPT", x, stats.hit_ratio,
+            stats.avg_lookup_messages, stats.avg_lookup_routing))
+
+    for ttl in (1, 2, 3, 4):
+        stats = run(FloodingStrategy(ttl=ttl), 1)
+        curves["FLOODING"].append(TradeoffPoint(
+            "FLOODING", ttl, stats.hit_ratio,
+            stats.avg_lookup_messages, stats.avg_lookup_routing))
+    return curves
+
+
+@dataclass
+class SummaryRow:
+    """One column of the paper's Figure 16 table."""
+
+    advertise: str
+    lookup: str
+    mobility: str
+    advertise_cost: float
+    advertise_routing: float
+    lookup_hit_cost: float
+    lookup_miss_cost: float
+    hit_ratio: float
+
+
+def summary_table(
+    n: int = 200,
+    n_keys: int = 10,
+    n_lookups: int = 50,
+    miss_fraction: float = 0.25,
+    mobilities: Sequence[str] = ("static", "waypoint"),
+    seed: int = 0,
+) -> List[SummaryRow]:
+    """Figure 16: cost summary for the main strategy combinations.
+
+    Sizes follow the paper's setting: |Qa| = 2 sqrt(n), |Ql| = 1.15 sqrt(n)
+    for RANDOM-advertise mixes (intersection 0.9); the UP x UP mix uses the
+    crossing-time sizes ~1.5 n / ln n.
+    """
+    qa = max(1, int(round(2.0 * math.sqrt(n))))
+    ql = max(1, int(round(1.15 * math.sqrt(n))))
+    q_pp = max(2, int(round(1.5 * n / math.log(n))))
+
+    combos: List[Tuple[str, str]] = [
+        ("RANDOM", "RANDOM"),
+        ("RANDOM", "RANDOM-OPT"),
+        ("RANDOM", "UNIQUE-PATH"),
+        ("RANDOM", "FLOODING"),
+        ("UNIQUE-PATH", "UNIQUE-PATH"),
+    ]
+    rows: List[SummaryRow] = []
+    for mobility in mobilities:
+        for adv_name, lookup_name in combos:
+            net = make_network(n, mobility=mobility, seed=seed)
+            membership = make_membership(net, "random")
+            strategies: Dict[str, AccessStrategy] = {
+                "RANDOM": RandomStrategy(membership),
+                "RANDOM-OPT": RandomOptStrategy(membership),
+                "UNIQUE-PATH": UniquePathStrategy(
+                    local_repair=(mobility == "waypoint")),
+                "FLOODING": FloodingStrategy(),
+            }
+            adv = strategies[adv_name]
+            lookup = strategies[lookup_name]
+            a_size, l_size = (q_pp, q_pp) if adv_name == lookup_name == \
+                "UNIQUE-PATH" else (qa, ql)
+            stats = run_scenario(
+                net, advertise_strategy=adv, lookup_strategy=lookup,
+                advertise_size=a_size, lookup_size=l_size,
+                n_keys=n_keys, n_lookups=n_lookups,
+                miss_fraction=miss_fraction, seed=seed + 1)
+            rows.append(SummaryRow(
+                advertise=adv_name, lookup=lookup_name, mobility=mobility,
+                advertise_cost=stats.avg_advertise_messages,
+                advertise_routing=stats.avg_advertise_routing,
+                lookup_hit_cost=stats.avg_lookup_messages_on_hit,
+                lookup_miss_cost=stats.avg_lookup_messages_on_miss,
+                hit_ratio=stats.hit_ratio))
+    return rows
+
+
+def render_summary(rows: List[SummaryRow]) -> str:
+    """ASCII rendering of the Figure 16 table."""
+    return format_table(
+        ["advertise", "lookup", "mobility", "adv msgs", "adv routing",
+         "lookup hit", "lookup miss", "hit ratio"],
+        [(r.advertise, r.lookup, r.mobility, r.advertise_cost,
+          r.advertise_routing, r.lookup_hit_cost, r.lookup_miss_cost,
+          r.hit_ratio) for r in rows],
+    )

@@ -1,0 +1,103 @@
+"""Figure 8 — cost of RANDOM advertise and hit ratio of RANDOM lookup.
+
+The paper's findings to reproduce:
+
+* advertise cost per request ~ ``|Q| * sqrt(n) / ln(n)`` network messages,
+  flattening at ``|Q| >= 2 sqrt(n)`` (the random membership view size);
+* a dramatic extra overhead from AODV routing (route establishment);
+* RANDOM lookup reaches 0.9 hit ratio at ``|Ql| ~ 1.15 sqrt(n)``
+  (Lemma 5.1 in action).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.strategies import RandomStrategy
+from repro.experiments.common import (
+    ScenarioStats,
+    make_membership,
+    make_network,
+    run_scenario,
+)
+
+
+@dataclass
+class RandomAdvertisePoint:
+    """Cost of one RANDOM advertise configuration."""
+
+    n: int
+    quorum_size: int
+    avg_messages: float
+    avg_routing: float
+
+
+@dataclass
+class RandomLookupPoint:
+    """Hit ratio of RANDOM lookup at one quorum size."""
+
+    n: int
+    lookup_size: int
+    lookup_size_factor: float    # |Ql| / sqrt(n)
+    hit_ratio: float
+    avg_messages: float
+    avg_routing: float
+
+
+def random_advertise_cost(
+    sizes: Sequence[int] = (50, 100, 200),
+    quorum_factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5),
+    n_keys: int = 10,
+    seed: int = 0,
+) -> List[RandomAdvertisePoint]:
+    """Figure 8(a)/(b): messages per advertise vs |Q|, per network size."""
+    points: List[RandomAdvertisePoint] = []
+    for n in sizes:
+        for factor in quorum_factors:
+            net = make_network(n, seed=seed)
+            membership = make_membership(net, "random")
+            strategy = RandomStrategy(membership)
+            qa = max(1, int(round(factor * math.sqrt(n))))
+            stats = run_scenario(
+                net, advertise_strategy=strategy, lookup_strategy=strategy,
+                advertise_size=qa, lookup_size=1, n_keys=n_keys, n_lookups=0,
+                seed=seed + 1,
+            )
+            points.append(RandomAdvertisePoint(
+                n=n, quorum_size=qa,
+                avg_messages=stats.avg_advertise_messages,
+                avg_routing=stats.avg_advertise_routing))
+    return points
+
+
+def random_lookup_hit_ratio(
+    sizes: Sequence[int] = (100, 200),
+    lookup_factors: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0),
+    advertise_factor: float = 2.0,
+    n_keys: int = 10,
+    n_lookups: int = 60,
+    seed: int = 0,
+) -> List[RandomLookupPoint]:
+    """Figure 8(c): RANDOM lookup hit ratio vs |Ql| (advertise 2*sqrt(n))."""
+    points: List[RandomLookupPoint] = []
+    for n in sizes:
+        for factor in lookup_factors:
+            net = make_network(n, seed=seed)
+            membership = make_membership(net, "random")
+            strategy = RandomStrategy(membership)
+            qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+            ql = max(1, int(round(factor * math.sqrt(n))))
+            stats = run_scenario(
+                net, advertise_strategy=strategy, lookup_strategy=strategy,
+                advertise_size=qa, lookup_size=ql,
+                n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+            )
+            points.append(RandomLookupPoint(
+                n=n, lookup_size=ql, lookup_size_factor=factor,
+                hit_ratio=stats.hit_ratio,
+                avg_messages=stats.avg_lookup_messages,
+                avg_routing=stats.avg_lookup_routing))
+    return points

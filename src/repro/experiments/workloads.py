@@ -1,0 +1,165 @@
+"""Workload generation and usage-pattern estimation.
+
+Two pieces of the paper live here:
+
+* **Dynamic tau estimation** (Section 5.4): the lookup:advertise frequency
+  ratio ``tau`` drives the cost-optimal asymmetric sizing of Lemma 5.6.
+  When it is not known a priori it "can be dynamically estimated based on
+  the usage statistics" — :class:`TauEstimator` keeps a sliding window of
+  operations and recommends quorum sizes; a wrong or drifting estimate
+  never affects correctness, only the message bill (the paper's note).
+* **Zipf-popular keys** (Sections 5.4, 7.1): file-sharing-style workloads
+  where a few items absorb most lookups — the regime in which bystander
+  caching makes "lookup requests for popular data items terminate much
+  faster".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Hashable, List, Optional, Sequence, Tuple
+
+from repro.analysis.costs import optimal_size_ratio
+from repro.analysis.intersection import asymmetric_quorum_sizes
+
+
+class ZipfKeySampler:
+    """Keys with Zipf(s) popularity (rank-r probability ∝ 1/r^s)."""
+
+    def __init__(self, keys: Sequence[Hashable], exponent: float = 1.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if not keys:
+            raise ValueError("need at least one key")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.keys = list(keys)
+        self.exponent = exponent
+        self.rng = rng or random.Random()
+        weights = [1.0 / (rank ** exponent)
+                   for rank in range(1, len(self.keys) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+
+    def sample(self) -> Hashable:
+        """Draw one key by popularity."""
+        u = self.rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.keys[lo]
+
+    def probability_of(self, key: Hashable) -> float:
+        rank = self.keys.index(key) + 1
+        weights = [1.0 / (r ** self.exponent)
+                   for r in range(1, len(self.keys) + 1)]
+        return (1.0 / (rank ** self.exponent)) / sum(weights)
+
+
+@dataclass
+class SizingRecommendation:
+    """Output of the tau-driven sizing."""
+
+    tau: float
+    advertise_size: int
+    lookup_size: int
+
+
+class TauEstimator:
+    """Sliding-window estimator of the lookup:advertise ratio.
+
+    Record each operation with :meth:`record_lookup` /
+    :meth:`record_advertise`; :meth:`tau` returns the windowed ratio and
+    :meth:`recommend_sizes` turns it into Lemma 5.6 quorum sizes for
+    given per-node costs.  A wrong tau only costs messages, never the
+    intersection guarantee (the recommendation always satisfies
+    Corollary 5.3).
+    """
+
+    def __init__(self, window: int = 256, prior_tau: float = 1.0) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if prior_tau <= 0:
+            raise ValueError("prior_tau must be positive")
+        self.window = window
+        self.prior_tau = prior_tau
+        self._events: Deque[str] = deque(maxlen=window)
+
+    def record_lookup(self) -> None:
+        self._events.append("l")
+
+    def record_advertise(self) -> None:
+        self._events.append("a")
+
+    @property
+    def observed_lookups(self) -> int:
+        return sum(1 for e in self._events if e == "l")
+
+    @property
+    def observed_advertises(self) -> int:
+        return sum(1 for e in self._events if e == "a")
+
+    def tau(self) -> float:
+        """Windowed lookup:advertise ratio, smoothed by a one-event prior."""
+        lookups = self.observed_lookups
+        advertises = self.observed_advertises
+        return (lookups + self.prior_tau) / (advertises + 1.0)
+
+    def recommend_sizes(self, n: int, epsilon: float,
+                        cost_a: float, cost_l: float) -> SizingRecommendation:
+        """Lemma 5.6 sizes for the current tau estimate."""
+        tau = self.tau()
+        ratio = optimal_size_ratio(tau, cost_a, cost_l)
+        qa, ql = asymmetric_quorum_sizes(n, epsilon, ratio)
+        return SizingRecommendation(tau=tau,
+                                    advertise_size=min(qa, n),
+                                    lookup_size=min(ql, n))
+
+
+@dataclass
+class OperationMix:
+    """A generated operation schedule."""
+
+    operations: List[Tuple[str, Hashable]]  # ("lookup"|"advertise", key)
+
+    @property
+    def tau(self) -> float:
+        lookups = sum(1 for op, _ in self.operations if op == "lookup")
+        advertises = sum(1 for op, _ in self.operations if op == "advertise")
+        return lookups / advertises if advertises else math.inf
+
+
+def generate_operation_mix(
+    keys: Sequence[Hashable],
+    n_operations: int,
+    tau: float = 10.0,
+    zipf_exponent: float = 1.0,
+    rng: Optional[random.Random] = None,
+) -> OperationMix:
+    """A P2P-style schedule: each key advertised once up front, then
+    lookups/re-advertises interleaved at rate ``tau`` with Zipf-popular
+    lookup keys."""
+    if n_operations < len(keys):
+        raise ValueError("need at least one operation per key")
+    rng = rng or random.Random()
+    sampler = ZipfKeySampler(keys, exponent=zipf_exponent, rng=rng)
+    operations: List[Tuple[str, Hashable]] = [
+        ("advertise", key) for key in keys
+    ]
+    p_lookup = tau / (tau + 1.0)
+    while len(operations) < n_operations:
+        if rng.random() < p_lookup:
+            operations.append(("lookup", sampler.sample()))
+        else:
+            operations.append(("advertise", rng.choice(list(keys))))
+    return OperationMix(operations=operations)

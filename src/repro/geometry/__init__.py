@@ -1,0 +1,43 @@
+"""Geometry substrate: deployment areas, spatial index, random geometric graphs."""
+
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.rgg import (
+    GeometricGraph,
+    bfs_distances,
+    build_adjacency,
+    connected_components,
+    diameter,
+    is_connected,
+    random_geometric_graph,
+    rgg_for_density,
+    shortest_path,
+    theoretical_diameter_hops,
+)
+from repro.geometry.space import (
+    PlaneMetric,
+    Point,
+    TorusMetric,
+    area_side_for_density,
+    critical_range_for_connectivity,
+    expected_degree,
+)
+
+__all__ = [
+    "SpatialGrid",
+    "GeometricGraph",
+    "bfs_distances",
+    "build_adjacency",
+    "connected_components",
+    "diameter",
+    "is_connected",
+    "random_geometric_graph",
+    "rgg_for_density",
+    "shortest_path",
+    "theoretical_diameter_hops",
+    "PlaneMetric",
+    "Point",
+    "TorusMetric",
+    "area_side_for_density",
+    "critical_range_for_connectivity",
+    "expected_degree",
+]

@@ -1,0 +1,104 @@
+"""Uniform spatial hash grid for O(1) range queries.
+
+Every range query in the simulator (neighbor discovery, PHY reception sets,
+interference accumulation) goes through this index.  Cell size equals the
+query radius, so a radius query inspects at most the 3x3 surrounding cells
+(wrapping on a torus).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.geometry.space import Point
+
+
+class SpatialGrid:
+    """Bucketed point index keyed by integer node ids."""
+
+    def __init__(self, side: float, cell_size: float, torus: bool = False) -> None:
+        if side <= 0 or cell_size <= 0:
+            raise ValueError("side and cell_size must be positive")
+        self.side = side
+        self.torus = torus
+        self.cells_per_axis = max(1, int(math.floor(side / cell_size)))
+        self.cell_size = side / self.cells_per_axis
+        self._cells: Dict[Tuple[int, int], Set[int]] = {}
+        self._positions: Dict[int, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._positions
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        cx = int(p[0] / self.cell_size)
+        cy = int(p[1] / self.cell_size)
+        # Points exactly on the far boundary fall into the last cell.
+        cx = min(cx, self.cells_per_axis - 1)
+        cy = min(cy, self.cells_per_axis - 1)
+        return (cx, cy)
+
+    def insert(self, node_id: int, p: Point) -> None:
+        """Insert or move a node to position ``p``."""
+        if node_id in self._positions:
+            self.remove(node_id)
+        self._positions[node_id] = p
+        self._cells.setdefault(self._cell_of(p), set()).add(node_id)
+
+    def remove(self, node_id: int) -> None:
+        p = self._positions.pop(node_id, None)
+        if p is None:
+            return
+        cell = self._cell_of(p)
+        bucket = self._cells.get(cell)
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self._cells[cell]
+
+    def position(self, node_id: int) -> Point:
+        return self._positions[node_id]
+
+    def ids(self) -> Iterable[int]:
+        return self._positions.keys()
+
+    def _dist_sq(self, a: Point, b: Point) -> float:
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if self.torus:
+            dx = min(dx, self.side - dx)
+            dy = min(dy, self.side - dy)
+        return dx * dx + dy * dy
+
+    def within(self, center: Point, radius: float) -> List[int]:
+        """Node ids within ``radius`` of ``center`` (inclusive)."""
+        if radius <= 0:
+            return []
+        r_sq = radius * radius
+        reach = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._cell_of(center)
+        found: List[int] = []
+        axis = self.cells_per_axis
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                if self.torus:
+                    cell = ((cx + dx) % axis, (cy + dy) % axis)
+                else:
+                    cell = (cx + dx, cy + dy)
+                    if not (0 <= cell[0] < axis and 0 <= cell[1] < axis):
+                        continue
+                bucket = self._cells.get(cell)
+                if not bucket:
+                    continue
+                for nid in bucket:
+                    if self._dist_sq(center, self._positions[nid]) <= r_sq:
+                        found.append(nid)
+        return found
+
+    def neighbors_of(self, node_id: int, radius: float) -> List[int]:
+        """Ids within ``radius`` of node ``node_id``, excluding itself."""
+        center = self._positions[node_id]
+        return [nid for nid in self.within(center, radius) if nid != node_id]

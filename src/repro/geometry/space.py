@@ -1,0 +1,104 @@
+"""2-D deployment areas and distance metrics.
+
+The paper's theory lives on the unit torus (to avoid boundary effects in the
+random-geometric-graph analysis) while its simulations live on a flat square
+plane scaled so that ``area = pi * r^2 * n / d_avg`` (Section 2.4).  Both
+metrics are provided here behind one interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class PlaneMetric:
+    """Euclidean distance on a bounded square ``[0, side] x [0, side]``."""
+
+    side: float
+
+    def distance(self, a: Point, b: Point) -> float:
+        dx = a[0] - b[0]
+        dy = a[1] - b[1]
+        return math.hypot(dx, dy)
+
+    def distance_sq(self, a: Point, b: Point) -> float:
+        dx = a[0] - b[0]
+        dy = a[1] - b[1]
+        return dx * dx + dy * dy
+
+    def wrap(self, p: Point) -> Point:
+        """Clamp a point into the area (plane: clip to bounds)."""
+        return (min(max(p[0], 0.0), self.side), min(max(p[1], 0.0), self.side))
+
+    @property
+    def is_torus(self) -> bool:
+        return False
+
+    @property
+    def area(self) -> float:
+        return self.side * self.side
+
+
+@dataclass(frozen=True)
+class TorusMetric:
+    """Wrap-around distance on a square torus of given side length."""
+
+    side: float
+
+    def distance(self, a: Point, b: Point) -> float:
+        return math.sqrt(self.distance_sq(a, b))
+
+    def distance_sq(self, a: Point, b: Point) -> float:
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        dx = min(dx, self.side - dx)
+        dy = min(dy, self.side - dy)
+        return dx * dx + dy * dy
+
+    def wrap(self, p: Point) -> Point:
+        return (p[0] % self.side, p[1] % self.side)
+
+    @property
+    def is_torus(self) -> bool:
+        return True
+
+    @property
+    def area(self) -> float:
+        return self.side * self.side
+
+
+def area_side_for_density(n: int, radio_range: float, avg_degree: float) -> float:
+    """Side length of the square so the mean node degree is ``avg_degree``.
+
+    From Section 2.4: ``a^2 = pi * r^2 * n / d_avg``.  A node's expected
+    neighbor count under uniform placement is ``(n-1) * pi r^2 / a^2``; the
+    paper uses the ``n`` approximation, which we follow for comparability.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if radio_range <= 0:
+        raise ValueError("radio_range must be positive")
+    if avg_degree <= 0:
+        raise ValueError("avg_degree must be positive")
+    return math.sqrt(math.pi * radio_range * radio_range * n / avg_degree)
+
+
+def critical_range_for_connectivity(n: int, constant: float = 1.0) -> float:
+    """Gupta–Kumar critical transmission range on the unit square.
+
+    ``r = sqrt(C * ln(n) / (pi * n))``; connectivity w.h.p. requires C > 1
+    (Section 6.1).
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    return math.sqrt(constant * math.log(n) / (math.pi * n))
+
+
+def expected_degree(n: int, radio_range: float, side: float) -> float:
+    """Expected number of neighbors for uniform placement (paper's formula)."""
+    return math.pi * radio_range * radio_range * n / (side * side)

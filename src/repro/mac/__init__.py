@@ -1,0 +1,5 @@
+"""MAC substrate: CSMA/CA with acked unicast, jittered broadcast, failure notify."""
+
+from repro.mac.csma import BROADCAST, MacFrame, MacLayer, MacParams
+
+__all__ = ["BROADCAST", "MacFrame", "MacLayer", "MacParams"]

@@ -1,0 +1,13 @@
+"""Membership substrate: full and RaWMS-style random membership services,
+plus random-walk network-size estimation."""
+
+from repro.membership.estimation import NetworkSizeEstimator, SizeEstimate
+from repro.membership.service import FullMembership, RandomMembership, uniform_sample
+
+__all__ = [
+    "FullMembership",
+    "RandomMembership",
+    "uniform_sample",
+    "NetworkSizeEstimator",
+    "SizeEstimate",
+]

@@ -1,0 +1,21 @@
+"""Mobility substrate: waypoint trajectories and lazy position tracking."""
+
+from repro.mobility.models import (
+    FixedPlacement,
+    Leg,
+    MobilityManager,
+    MobilityModel,
+    RandomWaypoint,
+    StaticPlacement,
+    average_nodal_speed,
+)
+
+__all__ = [
+    "FixedPlacement",
+    "Leg",
+    "MobilityManager",
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticPlacement",
+    "average_nodal_speed",
+]

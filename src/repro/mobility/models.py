@@ -1,0 +1,181 @@
+"""Node mobility models.
+
+The paper's simulations use the Random Waypoint model (Section 2.4): each
+node repeatedly picks a uniform destination in the area, moves to it at a
+speed drawn uniformly from ``[min_speed, max_speed]``, then pauses (30 s on
+average).  Positions are evaluated lazily: a node's trajectory is a sequence
+of linear legs, and ``position_at(t)`` interpolates inside the current leg,
+so mobility costs nothing between queries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.geometry.space import Point
+
+
+@dataclass
+class Leg:
+    """Linear motion from ``p0`` at time ``t0`` to ``p1`` at time ``t1``.
+
+    A pause is a leg with ``p0 == p1``.
+    """
+
+    t0: float
+    p0: Point
+    t1: float
+    p1: Point
+
+    def position_at(self, t: float) -> Point:
+        if t >= self.t1 or self.t1 <= self.t0:
+            return self.p1
+        if t <= self.t0:
+            return self.p0
+        frac = (t - self.t0) / (self.t1 - self.t0)
+        return (
+            self.p0[0] + frac * (self.p1[0] - self.p0[0]),
+            self.p0[1] + frac * (self.p1[1] - self.p0[1]),
+        )
+
+
+class MobilityModel(ABC):
+    """Produces an initial position and subsequent legs for each node."""
+
+    @abstractmethod
+    def initial_position(self, node_id: int) -> Point:
+        """Starting position of ``node_id``."""
+
+    @abstractmethod
+    def next_leg(self, node_id: int, t: float, pos: Point) -> Leg:
+        """The leg beginning at time ``t`` from position ``pos``."""
+
+
+class StaticPlacement(MobilityModel):
+    """Uniform random placement; nodes never move."""
+
+    def __init__(self, side: float, rng: Optional[random.Random] = None) -> None:
+        if side <= 0:
+            raise ValueError("side must be positive")
+        self.side = side
+        self._rng = rng or random.Random()
+
+    def initial_position(self, node_id: int) -> Point:
+        return (self._rng.uniform(0, self.side), self._rng.uniform(0, self.side))
+
+    def next_leg(self, node_id: int, t: float, pos: Point) -> Leg:
+        return Leg(t0=t, p0=pos, t1=math.inf, p1=pos)
+
+
+class FixedPlacement(MobilityModel):
+    """Static model with externally supplied positions (e.g. from an RGG)."""
+
+    def __init__(self, positions: List[Point]) -> None:
+        self._positions = list(positions)
+
+    def initial_position(self, node_id: int) -> Point:
+        return self._positions[node_id]
+
+    def next_leg(self, node_id: int, t: float, pos: Point) -> Leg:
+        return Leg(t0=t, p0=pos, t1=math.inf, p1=pos)
+
+
+class RandomWaypoint(MobilityModel):
+    """Random Waypoint with uniform speed and constant-mean pause.
+
+    Defaults follow the paper: speeds 0.5–2 m/s (walking) and 30 s pauses.
+    ``max_speed`` overrides both bounds for the fast-mobility experiments
+    (2/5/10/20 m/s, Figures 13–14) which vary the maximum speed.
+    """
+
+    def __init__(
+        self,
+        side: float,
+        min_speed: float = 0.5,
+        max_speed: float = 2.0,
+        pause_time: float = 30.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if side <= 0:
+            raise ValueError("side must be positive")
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.side = side
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self._rng = rng or random.Random()
+        # Alternate pause / move legs per node.
+        self._pausing: Dict[int, bool] = {}
+
+    def initial_position(self, node_id: int) -> Point:
+        return (self._rng.uniform(0, self.side), self._rng.uniform(0, self.side))
+
+    def next_leg(self, node_id: int, t: float, pos: Point) -> Leg:
+        if self._pausing.get(node_id, False) and self.pause_time > 0:
+            self._pausing[node_id] = False
+            return Leg(t0=t, p0=pos, t1=t + self.pause_time, p1=pos)
+        dest = (self._rng.uniform(0, self.side), self._rng.uniform(0, self.side))
+        speed = self._rng.uniform(self.min_speed, self.max_speed)
+        dist = math.hypot(dest[0] - pos[0], dest[1] - pos[1])
+        duration = dist / speed if speed > 0 else math.inf
+        self._pausing[node_id] = True
+        return Leg(t0=t, p0=pos, t1=t + duration, p1=dest)
+
+
+class MobilityManager:
+    """Tracks every node's current leg and answers position queries.
+
+    Nodes may be added (joins) and removed (failures/leaves) at runtime,
+    supporting the churn experiments.
+    """
+
+    def __init__(self, model: MobilityModel) -> None:
+        self.model = model
+        self._legs: Dict[int, Leg] = {}
+
+    def add_node(self, node_id: int, t: float = 0.0,
+                 position: Optional[Point] = None) -> Point:
+        pos = position if position is not None else self.model.initial_position(node_id)
+        self._legs[node_id] = self.model.next_leg(node_id, t, pos)
+        return pos
+
+    def remove_node(self, node_id: int) -> None:
+        self._legs.pop(node_id, None)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._legs
+
+    def node_ids(self) -> List[int]:
+        return list(self._legs.keys())
+
+    def position_at(self, node_id: int, t: float) -> Point:
+        """Position of ``node_id`` at time ``t`` (advances legs lazily)."""
+        leg = self._legs[node_id]
+        while t > leg.t1 and math.isfinite(leg.t1):
+            leg = self.model.next_leg(node_id, leg.t1, leg.p1)
+            self._legs[node_id] = leg
+        return leg.position_at(t)
+
+    def snapshot(self, t: float) -> Dict[int, Point]:
+        """All node positions at time ``t``."""
+        return {nid: self.position_at(nid, t) for nid in list(self._legs)}
+
+
+def average_nodal_speed(model: RandomWaypoint, samples: int = 10000,
+                        rng: Optional[random.Random] = None) -> float:
+    """Monte-Carlo mean speed of a waypoint leg (excluding pauses).
+
+    Useful when calibrating refresh intervals against mobility (Section 6.2).
+    """
+    rng = rng or random.Random(0)
+    total = 0.0
+    for _ in range(samples):
+        total += rng.uniform(model.min_speed, model.max_speed)
+    return total / samples

@@ -1,0 +1,25 @@
+"""Network substrate: packets, AODV routing, TTL-scoped flooding."""
+
+from repro.net.aodv import AodvAgent, AodvParams, RouteEntry
+from repro.net.flooding import FloodingAgent
+from repro.net.packet import (
+    DataPacket,
+    FloodPacket,
+    RouteError,
+    RouteReply,
+    RouteRequest,
+    next_packet_id,
+)
+
+__all__ = [
+    "AodvAgent",
+    "AodvParams",
+    "RouteEntry",
+    "FloodingAgent",
+    "DataPacket",
+    "FloodPacket",
+    "RouteError",
+    "RouteReply",
+    "RouteRequest",
+    "next_packet_id",
+]

@@ -1,0 +1,72 @@
+"""Network-layer packet types shared by routing and flooding."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+_packet_ids = itertools.count()
+
+
+def next_packet_id() -> int:
+    """Globally unique packet id (per process)."""
+    return next(_packet_ids)
+
+
+@dataclass
+class DataPacket:
+    """A routed application payload."""
+
+    pkt_id: int
+    src: int
+    dst: int
+    payload: Any
+    ttl: int = 64
+    hop_count: int = 0
+
+
+@dataclass
+class FloodPacket:
+    """A TTL-scoped flood of an application payload (Section 4.4).
+
+    Every node that receives it for the first time delivers the payload to
+    the application, decrements the TTL and rebroadcasts while TTL > 0.
+    """
+
+    pkt_id: int
+    origin: int
+    payload: Any
+    ttl: int
+    hop_count: int = 0
+
+
+@dataclass
+class RouteRequest:
+    """AODV RREQ."""
+
+    rreq_id: int
+    origin: int
+    origin_seq: int
+    dst: int
+    dst_seq: int
+    hop_count: int = 0
+    ttl: int = 1
+
+
+@dataclass
+class RouteReply:
+    """AODV RREP, unicast hop by hop back to the RREQ origin."""
+
+    origin: int
+    dst: int
+    dst_seq: int
+    hop_count: int
+    lifetime: float
+
+
+@dataclass
+class RouteError:
+    """AODV RERR listing now-unreachable destinations."""
+
+    unreachable: List[Tuple[int, int]]  # (dst, dst_seq)

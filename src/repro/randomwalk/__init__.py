@@ -1,0 +1,25 @@
+"""Random-walk substrate: simple/unique/max-degree walks and reverse-path replies."""
+
+from repro.randomwalk.reply import (
+    DEFAULT_REPAIR_TTL,
+    ReplyResult,
+    reverse_path_of,
+    send_reply,
+)
+from repro.randomwalk.walker import (
+    SampleResult,
+    WalkResult,
+    max_degree_walk_sample,
+    random_walk,
+)
+
+__all__ = [
+    "DEFAULT_REPAIR_TTL",
+    "ReplyResult",
+    "reverse_path_of",
+    "send_reply",
+    "SampleResult",
+    "WalkResult",
+    "max_degree_walk_sample",
+    "random_walk",
+]

@@ -1,0 +1,41 @@
+"""Applications built on probabilistic biquorums: location service,
+read/write register, pub/sub, and the refresh daemon."""
+
+from repro.services.consistency import (
+    CheckedRegister,
+    ConsistencyReport,
+    OpRecord,
+)
+from repro.services.location import (
+    AdvertiseReceipt,
+    LocationService,
+    LookupReceipt,
+    StoredEntry,
+)
+from repro.services.maintenance import RefreshDaemon, RefreshStats
+from repro.services.pubsub import PublishResult, PubSubService, Subscription
+from repro.services.register import (
+    ProbabilisticRegister,
+    RegisterOpResult,
+    Timestamp,
+    ZERO_TS,
+)
+
+__all__ = [
+    "CheckedRegister",
+    "ConsistencyReport",
+    "OpRecord",
+    "AdvertiseReceipt",
+    "LocationService",
+    "LookupReceipt",
+    "StoredEntry",
+    "RefreshDaemon",
+    "RefreshStats",
+    "PublishResult",
+    "PubSubService",
+    "Subscription",
+    "ProbabilisticRegister",
+    "RegisterOpResult",
+    "Timestamp",
+    "ZERO_TS",
+]

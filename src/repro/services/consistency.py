@@ -1,0 +1,95 @@
+"""Probabilistic linearizability checking (Section 10).
+
+With probabilistic quorums the ABD register construction implements
+*probabilistic linearizability*: each operation pair misses the
+linearization order with probability at most epsilon.  This module
+records a register's operation history and checks it against the
+sequential specification of a read/write register, reporting the
+empirical violation rate so it can be compared with the epsilon the
+quorum sizing promised.
+
+Operations in this simulator execute one at a time (the simulated clock
+advances inside each), so the history is sequential and the check is
+exact: a read is consistent iff it returns the value of the latest
+preceding write (or the initial value if none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.services.register import ProbabilisticRegister, RegisterOpResult
+
+
+@dataclass
+class OpRecord:
+    """One completed register operation."""
+
+    index: int
+    kind: str            # "read" | "write"
+    origin: int
+    value: Any
+    timestamp: Any
+    messages: int
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of checking a recorded history."""
+
+    reads: int
+    stale_reads: int     # reads that returned an out-of-date value
+    writes: int
+
+    @property
+    def violation_rate(self) -> float:
+        return self.stale_reads / self.reads if self.reads else 0.0
+
+    def within_epsilon(self, epsilon: float, slack: float = 0.0) -> bool:
+        """Whether the empirical violation rate honours the quorum bound."""
+        return self.violation_rate <= epsilon + slack
+
+
+class CheckedRegister:
+    """A :class:`ProbabilisticRegister` wrapper that records its history."""
+
+    def __init__(self, register: ProbabilisticRegister) -> None:
+        self.register = register
+        self.history: List[OpRecord] = []
+
+    def write(self, origin: int, value: Any) -> RegisterOpResult:
+        result = self.register.write(origin, value)
+        self.history.append(OpRecord(
+            index=len(self.history), kind="write", origin=origin,
+            value=value, timestamp=result.timestamp,
+            messages=result.messages))
+        return result
+
+    def read(self, origin: int) -> RegisterOpResult:
+        result = self.register.read(origin)
+        self.history.append(OpRecord(
+            index=len(self.history), kind="read", origin=origin,
+            value=result.value, timestamp=result.timestamp,
+            messages=result.messages))
+        return result
+
+    def check(self, initial_value: Any = None) -> ConsistencyReport:
+        """Validate every read against the latest preceding write.
+
+        Sequential histories only (which is what this simulator produces);
+        a read returning any older value — including the initial one after
+        a write happened — counts as one stale read.
+        """
+        latest = initial_value
+        reads = stale = writes = 0
+        for op in self.history:
+            if op.kind == "write":
+                writes += 1
+                latest = op.value
+            else:
+                reads += 1
+                if op.value != latest:
+                    stale += 1
+        return ConsistencyReport(reads=reads, stale_reads=stale,
+                                 writes=writes)

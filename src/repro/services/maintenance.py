@@ -1,0 +1,77 @@
+"""Quorum maintenance daemon (Section 6.1, "handling quorum degradation").
+
+Probabilistic quorums never need *reconfiguration* after churn — only a
+periodic *refresh* (readvertising every data item) to restore the
+intersection probability.  The refresh interval comes straight from the
+degradation-rate analysis: given the initial epsilon, the minimum
+acceptable intersection probability, and the observed churn rate, refresh
+every ``f_max / churn_rate`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.degradation import RefreshPlan, refresh_schedule
+from repro.services.location import LocationService
+from repro.sim.kernel import PeriodicTimer
+
+
+@dataclass
+class RefreshStats:
+    """Bookkeeping of refresh rounds performed."""
+
+    rounds: int = 0
+    readvertised: int = 0
+    lost: int = 0  # keys with no surviving owner at refresh time
+
+
+class RefreshDaemon:
+    """Periodically readvertises every mapping of a location service."""
+
+    def __init__(
+        self,
+        service: LocationService,
+        interval: Optional[float] = None,
+        epsilon: Optional[float] = None,
+        min_intersection: Optional[float] = None,
+        churn_fraction_per_second: Optional[float] = None,
+        mode: str = "both",
+    ) -> None:
+        """Either give ``interval`` directly, or give the degradation
+        parameters (epsilon, floor, churn rate) and let the Section 6.1
+        analysis derive the interval."""
+        if interval is None:
+            if None in (epsilon, min_intersection, churn_fraction_per_second):
+                raise ValueError(
+                    "provide interval, or epsilon + min_intersection + "
+                    "churn_fraction_per_second")
+            plan = refresh_schedule(epsilon, min_intersection,
+                                    churn_fraction_per_second, mode)
+            interval = plan.refresh_interval_seconds
+            self.plan: Optional[RefreshPlan] = plan
+        else:
+            self.plan = None
+        if not interval > 0:
+            raise ValueError("refresh interval must be positive")
+        self.service = service
+        self.interval = interval
+        self.stats = RefreshStats()
+        self._timer = PeriodicTimer(service.net.sim, interval, self._tick)
+
+    def _tick(self) -> None:
+        self.stats.rounds += 1
+        keys = self.service.advertised_keys()
+        receipts = self.service.readvertise_all()
+        self.stats.readvertised += len(receipts)
+        self.stats.lost += len(keys) - len(receipts)
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def refresh_now(self) -> int:
+        """Force an immediate refresh round; returns keys readvertised."""
+        before = self.stats.readvertised
+        self._tick()
+        return self.stats.readvertised - before

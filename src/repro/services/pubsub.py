@@ -1,0 +1,135 @@
+"""Quorum-based publish/subscribe (Section 10, the paper's future-work
+sketch, implemented here as an extension).
+
+A subscription is disseminated to every member of an *advertise* quorum;
+publishing an event contacts a *lookup* quorum; every lookup-quorum member
+matches the event against the subscriptions it stores and notifies the
+matching subscribers (via routing).  Since publications are typically far
+more frequent than subscriptions, the asymmetric biquorum fits naturally:
+the cheap strategy serves the publish side.
+
+The guarantees are probabilistic: an event reaches a subscriber iff the
+publish quorum intersects the subscription's quorum (probability >= 1-eps).
+Unsubscription — the challenge the paper calls out — is handled with
+version-numbered tombstones: an unsubscribe is advertised like a
+subscription and shadows any older subscription it intersects; matching
+nodes honour the newest record they know.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.biquorum import ProbabilisticBiquorum
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A topic subscription (or its tombstone when ``active`` is False)."""
+
+    topic: Hashable
+    subscriber: int
+    version: int
+    active: bool = True
+
+
+@dataclass
+class PublishResult:
+    """Outcome of one publication."""
+
+    topic: Hashable
+    event: Any
+    matched_subscribers: List[int]
+    notified_subscribers: List[int]
+    messages: int
+    routing_messages: int
+
+
+class PubSubService:
+    """Topic-based pub/sub over a probabilistic biquorum."""
+
+    def __init__(self, biquorum: ProbabilisticBiquorum) -> None:
+        self.biquorum = biquorum
+        self.net = biquorum.net
+        # node -> topic -> subscriber -> newest Subscription record
+        self._tables: Dict[int, Dict[Hashable, Dict[int, Subscription]]] = {}
+        self._versions = itertools.count(1)
+        self.delivered: List[Tuple[int, Hashable, Any]] = []
+
+    # -- node-local subscription tables -----------------------------------
+
+    def _record(self, node: int, sub: Subscription) -> None:
+        topics = self._tables.setdefault(node, {})
+        subs = topics.setdefault(sub.topic, {})
+        existing = subs.get(sub.subscriber)
+        if existing is None or sub.version > existing.version:
+            subs[sub.subscriber] = sub
+
+    def _matches_at(self, node: int, topic: Hashable) -> List[int]:
+        if not self.net.is_alive(node):
+            return []
+        subs = self._tables.get(node, {}).get(topic, {})
+        return [s.subscriber for s in subs.values() if s.active]
+
+    def subscriptions_at(self, node: int, topic: Hashable) -> List[Subscription]:
+        return list(self._tables.get(node, {}).get(topic, {}).values())
+
+    # -- API ----------------------------------------------------------------
+
+    def subscribe(self, subscriber: int, topic: Hashable):
+        """Disseminate a subscription to an advertise quorum."""
+        sub = Subscription(topic=topic, subscriber=subscriber,
+                           version=next(self._versions), active=True)
+        return self.biquorum.write(subscriber,
+                                   lambda node: self._record(node, sub))
+
+    def unsubscribe(self, subscriber: int, topic: Hashable):
+        """Advertise a newer tombstone shadowing the old subscription.
+
+        Because each quorum access touches a possibly different node set, a
+        single unsubscribe quorum cannot erase every stored copy; the
+        tombstone instead *outvotes* older records wherever the publish
+        quorum intersects either record's quorum.
+        """
+        tomb = Subscription(topic=topic, subscriber=subscriber,
+                            version=next(self._versions), active=False)
+        return self.biquorum.write(subscriber,
+                                   lambda node: self._record(node, tomb))
+
+    def publish(self, publisher: int, topic: Hashable, event: Any) -> PublishResult:
+        """Send an event to a lookup quorum; matching members notify
+        subscribers via routing."""
+        matched: Dict[int, Subscription] = {}
+
+        def probe_fn(node: int) -> Optional[Any]:
+            for sub in self.subscriptions_at(node, topic):
+                existing = matched.get(sub.subscriber)
+                if existing is None or sub.version > existing.version:
+                    matched[sub.subscriber] = sub
+            return None  # collecting probe: visit the full quorum
+
+        access = self.biquorum.read(publisher, probe_fn)
+        messages = access.messages
+        routing = access.routing_messages
+        matched_active = sorted(s.subscriber for s in matched.values()
+                                if s.active)
+        notified: List[int] = []
+        for subscriber in matched_active:
+            if subscriber == publisher or not self.net.is_alive(subscriber):
+                continue
+            # Any quorum member that matched could notify; we let the
+            # publisher-side quorum node closest in the access do it —
+            # modelled as one routed notification per subscriber.
+            route = self.net.route(access.quorum[0] if access.quorum
+                                   else publisher, subscriber)
+            messages += route.data_messages
+            routing += route.routing_messages
+            if route.success:
+                notified.append(subscriber)
+                self.delivered.append((subscriber, topic, event))
+        return PublishResult(topic=topic, event=event,
+                             matched_subscribers=matched_active,
+                             notified_subscribers=notified,
+                             messages=messages, routing_messages=routing)

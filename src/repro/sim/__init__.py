@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate (kernel, timers, RNG streams)."""
+
+from repro.sim.kernel import Event, PeriodicTimer, SimulationError, Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "RngRegistry",
+]

@@ -1,0 +1,55 @@
+"""Deterministic random-number streams.
+
+The paper seeded Java's PRNG with wall-clock time; for reproducibility we
+instead derive independent named substreams from a single master seed, so
+each subsystem (mobility, MAC backoff, random walks, workload, churn, ...)
+gets its own stream and experiments are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def _derive_seed(master_seed: int, name: str) -> int:
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory for named, independent PRNG streams.
+
+    ``stream(name)`` returns a ``random.Random``; ``numpy_stream(name)``
+    returns a ``numpy.random.Generator``.  The same (seed, name) pair always
+    yields an identically-seeded generator.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, random.Random] = {}
+        self._np_streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating on first use) the named stdlib PRNG stream."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(
+                _derive_seed(self.master_seed, name)
+            )
+        return self._streams[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the named numpy PRNG stream."""
+        if name not in self._np_streams:
+            self._np_streams[name] = np.random.default_rng(
+                _derive_seed(self.master_seed, "np:" + name)
+            )
+        return self._np_streams[name]
+
+    def fork(self, name: str, seed_offset: Optional[int] = None) -> "RngRegistry":
+        """Derive a child registry (e.g. one per simulation run)."""
+        extra = 0 if seed_offset is None else seed_offset
+        return RngRegistry(_derive_seed(self.master_seed, f"fork:{name}:{extra}"))

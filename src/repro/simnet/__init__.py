@@ -1,0 +1,22 @@
+"""Protocol-model network simulator (the paper's measurement abstraction)."""
+
+from repro.simnet.churn import ChurnOutcome, ChurnProcess, apply_churn
+from repro.simnet.energy import EnergyLedger, EnergyModel
+from repro.simnet.network import (
+    FloodOutcome,
+    NetworkConfig,
+    RouteResult,
+    SimNetwork,
+)
+
+__all__ = [
+    "ChurnOutcome",
+    "ChurnProcess",
+    "apply_churn",
+    "EnergyLedger",
+    "EnergyModel",
+    "FloodOutcome",
+    "NetworkConfig",
+    "RouteResult",
+    "SimNetwork",
+]

@@ -1,0 +1,550 @@
+"""Graph-level (protocol-model) network simulator.
+
+This is the workhorse for the paper's large parameter sweeps.  It models an
+ad hoc network exactly at the abstraction level the paper measures
+(Section 8): *network-layer messages* — one application message over a
+4-hop route counts as 4 messages — with routing control overhead accounted
+separately, while still capturing the phenomena the results depend on:
+
+* mobility (positions move; links appear/disappear mid-operation);
+* stale neighbor knowledge (neighbor tables refresh on a 10 s heartbeat, so
+  a chosen next hop may have moved away — exactly the failure mode that RW
+  salvation and reply-path repair address, Section 6.2);
+* MAC-level failure notification (a one-hop unicast to a departed neighbor
+  *fails visibly* rather than silently);
+* route caching, discovery floods and route breakage for AODV-style routing;
+* churn: node failures and joins at runtime.
+
+The packet-level stack in :mod:`repro.stack` cross-validates this model on
+small networks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.rgg import GeometricGraph
+from repro.geometry.space import Point, area_side_for_density
+from repro.mobility.models import (
+    FixedPlacement,
+    MobilityManager,
+    RandomWaypoint,
+    StaticPlacement,
+)
+from repro.sim.kernel import PeriodicTimer, Simulator
+from repro.sim.rng import RngRegistry
+from repro.simnet.energy import EnergyLedger
+
+
+@dataclass
+class NetworkConfig:
+    """Deployment and protocol parameters (paper Figure 2 defaults)."""
+
+    n: int = 100
+    avg_degree: float = 10.0
+    radio_range: float = 200.0
+    seed: int = 0
+    mobility: str = "static"  # "static" | "waypoint"
+    min_speed: float = 0.5
+    max_speed: float = 2.0
+    pause_time: float = 30.0
+    heartbeat_interval: float = 10.0
+    hop_latency: float = 0.002
+    torus: bool = False
+    require_connected: bool = True
+    drop_prob: float = 0.0  # extra random per-hop loss (interference proxy)
+    grid_refresh: float = 1.0
+
+    @property
+    def side(self) -> float:
+        return area_side_for_density(self.n, self.radio_range, self.avg_degree)
+
+
+@dataclass
+class RouteResult:
+    """Outcome of a multi-hop routed send."""
+
+    success: bool
+    path: List[int] = field(default_factory=list)
+    data_messages: int = 0
+    routing_messages: int = 0
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+@dataclass
+class FloodOutcome:
+    """Result of a TTL-scoped flood."""
+
+    origin: int
+    ttl: int
+    covered: Dict[int, int] = field(default_factory=dict)  # node -> hop
+    parent: Dict[int, int] = field(default_factory=dict)   # reverse tree
+    messages: int = 0
+
+    @property
+    def coverage(self) -> int:
+        return len(self.covered)
+
+    def reverse_path(self, node: int) -> List[int]:
+        """Path from ``node`` back to the flood origin along the tree."""
+        path = [node]
+        while path[-1] != self.origin:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+class SimNetwork:
+    """A simulated ad hoc network at the protocol-model level."""
+
+    def __init__(self, config: NetworkConfig,
+                 sim: Optional[Simulator] = None,
+                 positions: Optional[List[Point]] = None) -> None:
+        self.config = config
+        self.sim = sim or Simulator()
+        self.rngs = RngRegistry(config.seed)
+        side = config.side
+
+        placement_rng = self.rngs.stream("placement")
+        if config.mobility == "waypoint":
+            self._model = RandomWaypoint(
+                side=side, min_speed=config.min_speed,
+                max_speed=config.max_speed, pause_time=config.pause_time,
+                rng=self.rngs.stream("mobility"),
+            )
+        elif config.mobility == "static":
+            if positions is not None:
+                self._model = FixedPlacement(positions)
+            else:
+                self._model = StaticPlacement(side, rng=placement_rng)
+        else:
+            raise ValueError(f"unknown mobility model {config.mobility!r}")
+
+        self.mobility = MobilityManager(self._model)
+        self._alive: Set[int] = set()
+        self._next_id = 0
+        self.counters: Counter = Counter()
+        self._grid: Optional[SpatialGrid] = None
+        self._grid_time = -math.inf
+        self._known_neighbors: Dict[int, List[int]] = {}
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._drop_rng = self.rngs.stream("drops")
+        self.energy = EnergyLedger()
+
+        init_positions = positions
+        if init_positions is None and config.mobility == "static":
+            init_positions = None  # StaticPlacement draws them
+        for i in range(config.n):
+            pos = None
+            if positions is not None and config.mobility != "waypoint":
+                pos = positions[i]
+            self._spawn_node(pos)
+
+        if config.require_connected and positions is None:
+            self._ensure_connected(placement_rng)
+
+        self._refresh_neighbor_tables()
+        self._heartbeat = PeriodicTimer(
+            self.sim, config.heartbeat_interval, self._refresh_neighbor_tables
+        )
+
+    # -- construction helpers ----------------------------------------------
+
+    def _spawn_node(self, position: Optional[Point] = None) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self.mobility.add_node(node_id, t=self.sim.now, position=position)
+        self._alive.add(node_id)
+        self._grid_time = -math.inf  # grid invalid
+        return node_id
+
+    def _ensure_connected(self, rng: random.Random, max_attempts: int = 60) -> None:
+        for _ in range(max_attempts):
+            if self.is_connected():
+                return
+            # Re-place all nodes.
+            for node_id in list(self._alive):
+                self.mobility.remove_node(node_id)
+                pos = (rng.uniform(0, self.config.side),
+                       rng.uniform(0, self.config.side))
+                self.mobility.add_node(node_id, t=self.sim.now, position=pos)
+            self._grid_time = -math.inf
+        raise RuntimeError(
+            f"could not obtain a connected deployment "
+            f"(n={self.config.n}, d_avg={self.config.avg_degree})"
+        )
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def advance(self, dt: float) -> None:
+        """Advance simulated time, running due events (heartbeats, churn)."""
+        if dt > 0:
+            self.sim.run(until=self.sim.now + dt)
+
+    def run_until(self, t: float) -> None:
+        if t > self.sim.now:
+            self.sim.run(until=t)
+
+    # -- membership of the deployment ----------------------------------------
+
+    def alive_nodes(self) -> List[int]:
+        return sorted(self._alive)
+
+    @property
+    def n_alive(self) -> int:
+        return len(self._alive)
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._alive
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash/leave: the node stops participating immediately."""
+        if node_id not in self._alive:
+            return
+        self._alive.discard(node_id)
+        self._grid_time = -math.inf
+        self._known_neighbors.pop(node_id, None)
+
+    def join_node(self, position: Optional[Point] = None) -> int:
+        """A fresh node joins at a random (or given) position."""
+        node_id = self._spawn_node(position)
+        # The newcomer learns its neighbors on arrival (first heartbeat).
+        self._known_neighbors[node_id] = self.true_neighbors(node_id)
+        for other in self._known_neighbors[node_id]:
+            table = self._known_neighbors.get(other)
+            if table is not None and node_id not in table:
+                table.append(node_id)
+        return node_id
+
+    # -- geometry --------------------------------------------------------------
+
+    def position(self, node_id: int) -> Point:
+        return self.mobility.position_at(node_id, self.sim.now)
+
+    def distance(self, a: Point, b: Point) -> float:
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if self.config.torus:
+            dx = min(dx, self.config.side - dx)
+            dy = min(dy, self.config.side - dy)
+        return math.hypot(dx, dy)
+
+    def in_range(self, a: int, b: int) -> bool:
+        return (self.distance(self.position(a), self.position(b))
+                <= self.config.radio_range)
+
+    def _ensure_grid(self) -> SpatialGrid:
+        refresh = (self.config.grid_refresh
+                   if self.config.mobility == "waypoint" else math.inf)
+        if (self._grid is None
+                or self.sim.now - self._grid_time >= refresh
+                or self._grid_time < 0):
+            grid = SpatialGrid(side=self.config.side,
+                               cell_size=self.config.radio_range,
+                               torus=self.config.torus)
+            for node_id in self._alive:
+                grid.insert(node_id, self.position(node_id))
+            self._grid = grid
+            self._grid_time = self.sim.now
+        return self._grid
+
+    def true_neighbors(self, node_id: int) -> List[int]:
+        """Ground-truth current neighbors (alive, within range)."""
+        grid = self._ensure_grid()
+        pos = self.position(node_id)
+        margin = 0.0
+        if self.config.mobility == "waypoint":
+            margin = 2 * self.config.max_speed * self.config.grid_refresh
+        candidates = grid.within(pos, self.config.radio_range + margin)
+        return [
+            other for other in candidates
+            if other != node_id and other in self._alive
+            and self.distance(pos, self.position(other)) <= self.config.radio_range
+        ]
+
+    def known_neighbors(self, node_id: int) -> List[int]:
+        """Last-heartbeat neighbor snapshot (stale under mobility)."""
+        return list(self._known_neighbors.get(node_id, []))
+
+    def _refresh_neighbor_tables(self) -> None:
+        self._grid_time = -math.inf
+        self._known_neighbors = {
+            node_id: self.true_neighbors(node_id) for node_id in self._alive
+        }
+
+    def snapshot_graph(self) -> GeometricGraph:
+        """Current ground-truth connectivity graph (ids compacted are NOT
+        applied; dead nodes appear with empty adjacency)."""
+        n_total = self._next_id
+        positions: List[Point] = []
+        for node_id in range(n_total):
+            if node_id in self.mobility:
+                positions.append(self.position(node_id))
+            else:
+                positions.append((-1e9, -1e9))
+        adjacency: List[List[int]] = [[] for _ in range(n_total)]
+        for node_id in self._alive:
+            adjacency[node_id] = self.true_neighbors(node_id)
+        return GeometricGraph(positions=positions,
+                              radius=self.config.radio_range,
+                              side=self.config.side,
+                              torus=self.config.torus,
+                              adjacency=adjacency)
+
+    def is_connected(self) -> bool:
+        alive = list(self._alive)
+        if not alive:
+            return True
+        seen = {alive[0]}
+        queue = deque([alive[0]])
+        while queue:
+            u = queue.popleft()
+            for v in self.true_neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return len(seen) == len(alive)
+
+    # -- one-hop messaging ------------------------------------------------------
+
+    def one_hop_unicast(self, src: int, dst: int) -> bool:
+        """Send one frame to a direct neighbor.
+
+        Returns False — emulating the MAC failure notification after 7
+        retries — when the destination is dead, out of range, or the frame
+        is lost to the configured random drop.  Counts one network message
+        either way (the frame was transmitted).
+        """
+        self.counters["network"] += 1
+        self.advance(self.config.hop_latency)
+        if not self.is_alive(src):
+            return False
+        if not self.is_alive(dst) or not self.in_range(src, dst):
+            if self.is_alive(src):
+                self.energy.charge_failed_unicast(src)
+            return False
+        if self.config.drop_prob > 0 and self._drop_rng.random() < self.config.drop_prob:
+            self.energy.charge_failed_unicast(src)
+            return False
+        bystanders = max(0, len(self.true_neighbors(src)) - 1)
+        self.energy.charge_unicast(src, dst, bystanders=bystanders)
+        return True
+
+    def one_hop_broadcast(self, src: int) -> List[int]:
+        """Broadcast one frame; returns the alive nodes that received it."""
+        self.counters["network"] += 1
+        self.advance(self.config.hop_latency)
+        if not self.is_alive(src):
+            return []
+        receivers = self.true_neighbors(src)
+        if self.config.drop_prob > 0:
+            receivers = [r for r in receivers
+                         if self._drop_rng.random() >= self.config.drop_prob]
+        self.energy.charge_broadcast(src, receivers=len(receivers))
+        return receivers
+
+    # -- TTL-scoped flooding ---------------------------------------------------
+
+    def flood(self, origin: int, ttl: int) -> "FloodOutcome":
+        """TTL-scoped flood (Section 4.4): ring-by-ring BFS broadcast.
+
+        The originator broadcasts with the given TTL; each first-time
+        receiver decrements it and rebroadcasts while it stays positive.
+        Returns every covered node with its hop distance, the reverse
+        (parent) tree for replies, and the transmission count (one
+        broadcast per rebroadcasting node).
+        """
+        if ttl < 1:
+            raise ValueError("flood TTL must be >= 1")
+        covered: Dict[int, int] = {origin: 0}
+        parent: Dict[int, int] = {origin: origin}
+        messages = 0
+        frontier = [origin]
+        hop = 0
+        while frontier and hop < ttl:
+            next_frontier: List[int] = []
+            for node in frontier:
+                receivers = self.one_hop_broadcast(node)
+                messages += 1
+                for rx in receivers:
+                    if rx not in covered:
+                        covered[rx] = hop + 1
+                        parent[rx] = node
+                        next_frontier.append(rx)
+            frontier = next_frontier
+            hop += 1
+        return FloodOutcome(origin=origin, ttl=ttl, covered=covered,
+                            parent=parent, messages=messages)
+
+    # -- multi-hop routing (AODV-style with caching) ------------------------------
+
+    def _bfs_path(self, src: int, dst: int) -> Optional[List[int]]:
+        if src == dst:
+            return [src]
+        parent: Dict[int, int] = {src: src}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in self.true_neighbors(u):
+                if v in parent:
+                    continue
+                parent[v] = u
+                if v == dst:
+                    path = [v]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(v)
+        return None
+
+    def _hop_distances_capped(self, src: int, cap: int) -> Dict[int, int]:
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            if dist[u] >= cap:
+                continue
+            for v in self.true_neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def _route_valid(self, path: List[int]) -> bool:
+        for a, b in zip(path, path[1:]):
+            if not self.is_alive(b) or not self.in_range(a, b):
+                return False
+        return True
+
+    def _discover_route(self, src: int, dst: int) -> Tuple[Optional[List[int]], int]:
+        """Expanding-ring discovery; returns (path, control message count).
+
+        The control cost models AODV: every node inside the ring that found
+        the destination rebroadcasts the RREQ once, and the RREP travels
+        back along the path.
+        """
+        path = self._bfs_path(src, dst)
+        if path is None:
+            # Full-network flood that failed: everybody reachable rebroadcast.
+            reached = self._hop_distances_capped(src, cap=self.config.n)
+            return None, len(reached)
+        needed_ttl = len(path) - 1
+        reached = self._hop_distances_capped(src, cap=needed_ttl)
+        rreq_cost = len(reached)  # each reached node broadcasts once
+        rrep_cost = needed_ttl
+        return path, rreq_cost + rrep_cost
+
+    def discover_path(self, src: int, dst: int) -> Tuple[Optional[List[int]], int]:
+        """Obtain a route (cache hit or discovery) WITHOUT sending data.
+
+        Returns ``(path, routing_control_messages)``.  Used by protocols
+        that need hop-by-hop control over the data forwarding (e.g. the
+        RANDOM-OPT en-route lookup).
+        """
+        if not self.is_alive(src) or not self.is_alive(dst):
+            return None, 0
+        if src == dst:
+            return [src], 0
+        cached = self._route_cache.get((src, dst))
+        if cached is not None and self._route_valid(cached):
+            return cached, 0
+        path, cost = self._discover_route(src, dst)
+        self.counters["routing"] += cost
+        if path is None:
+            self._route_cache.pop((src, dst), None)
+        else:
+            self._route_cache[(src, dst)] = path
+        return path, cost
+
+    def route(self, src: int, dst: int) -> RouteResult:
+        """Send an application message via (cached) multi-hop routing."""
+        if not self.is_alive(src):
+            return RouteResult(success=False)
+        if src == dst:
+            return RouteResult(success=True, path=[src])
+        routing_messages = 0
+        data_messages = 0
+        attempts = 0
+        while attempts < 2:
+            attempts += 1
+            cached = self._route_cache.get((src, dst))
+            if cached is None or not self._route_valid(cached):
+                path, cost = self._discover_route(src, dst)
+                routing_messages += cost
+                if path is None:
+                    self._route_cache.pop((src, dst), None)
+                    self.counters["routing"] += routing_messages
+                    return RouteResult(success=False,
+                                       routing_messages=routing_messages,
+                                       data_messages=data_messages)
+                self._route_cache[(src, dst)] = path
+                cached = path
+            # Forward hop by hop; mobility may break the path mid-flight.
+            ok = True
+            for a, b in zip(cached, cached[1:]):
+                sent = self.one_hop_unicast(a, b)
+                data_messages += 1
+                if not sent:
+                    ok = False
+                    self._route_cache.pop((src, dst), None)
+                    break
+            if ok:
+                self.counters["routing"] += routing_messages
+                return RouteResult(success=True, path=cached,
+                                   data_messages=data_messages,
+                                   routing_messages=routing_messages)
+        self.counters["routing"] += routing_messages
+        return RouteResult(success=False, data_messages=data_messages,
+                           routing_messages=routing_messages)
+
+    def scoped_route(self, src: int, dst: int, max_hops: int) -> RouteResult:
+        """Route with a TTL-limited discovery (Section 6.2 local repair).
+
+        The RREQ flood is confined to ``max_hops`` hops around ``src``; its
+        cost is the number of nodes reached.  Fails fast if the destination
+        is farther than ``max_hops``.
+        """
+        if not self.is_alive(src):
+            return RouteResult(success=False)
+        if src == dst:
+            return RouteResult(success=True, path=[src])
+        reached = self._hop_distances_capped(src, cap=max_hops)
+        routing_messages = len(reached)
+        self.counters["routing"] += routing_messages
+        if dst not in reached:
+            return RouteResult(success=False, routing_messages=routing_messages)
+        path = self._bfs_path(src, dst)
+        if path is None or len(path) - 1 > max_hops:
+            return RouteResult(success=False, routing_messages=routing_messages)
+        data_messages = 0
+        for a, b in zip(path, path[1:]):
+            data_messages += 1
+            if not self.one_hop_unicast(a, b):
+                return RouteResult(success=False, data_messages=data_messages,
+                                   routing_messages=routing_messages)
+        return RouteResult(success=True, path=path,
+                           data_messages=data_messages,
+                           routing_messages=routing_messages)
+
+    def invalidate_routes(self) -> None:
+        """Drop all cached routes (e.g. after heavy churn)."""
+        self._route_cache.clear()
+
+    # -- convenience --------------------------------------------------------------
+
+    def random_alive_node(self, rng: random.Random) -> int:
+        return rng.choice(self.alive_nodes())
+
+    def reset_counters(self) -> None:
+        self.counters.clear()

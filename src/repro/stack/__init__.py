@@ -1,0 +1,15 @@
+"""Packet-level network stack: PHY + MAC + AODV + flooding per node,
+plus the facade that runs quorum strategies over it."""
+
+from repro.stack.adapter import PacketQuorumNetwork
+from repro.stack.environment import StackEnvironment
+from repro.stack.network import AdhocStack, StackConfig
+from repro.stack.node import StackNode
+
+__all__ = [
+    "PacketQuorumNetwork",
+    "StackEnvironment",
+    "AdhocStack",
+    "StackConfig",
+    "StackNode",
+]

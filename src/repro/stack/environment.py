@@ -1,0 +1,89 @@
+"""Node environment for the packet-level stack.
+
+Implements the :class:`~repro.phy.channel.NodeEnvironment` protocol over a
+mobility manager plus a lazily refreshed spatial grid: the PHY channel asks
+it for node positions, proximity sets, and liveness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+from repro.geometry.grid import SpatialGrid
+from repro.geometry.space import Point
+from repro.mobility.models import MobilityManager
+from repro.sim.kernel import Simulator
+
+
+class StackEnvironment:
+    """Positions, proximity and liveness for the PHY layer."""
+
+    def __init__(self, sim: Simulator, mobility: MobilityManager,
+                 side: float, torus: bool = False,
+                 grid_refresh: float = 0.5,
+                 max_speed: float = 0.0) -> None:
+        self.sim = sim
+        self.mobility = mobility
+        self.side = side
+        self.torus = torus
+        self.grid_refresh = grid_refresh
+        self.max_speed = max_speed
+        self._alive: Set[int] = set()
+        self._grid: Optional[SpatialGrid] = None
+        self._grid_time = -math.inf
+        self._grid_cell: float = 0.0
+
+    # -- liveness ----------------------------------------------------------
+
+    def add_node(self, node_id: int, position: Optional[Point] = None) -> Point:
+        pos = self.mobility.add_node(node_id, t=self.sim.now, position=position)
+        self._alive.add(node_id)
+        self._grid_time = -math.inf
+        return pos
+
+    def remove_node(self, node_id: int) -> None:
+        self._alive.discard(node_id)
+        self._grid_time = -math.inf
+
+    def is_alive(self, node_id: int) -> bool:
+        return node_id in self._alive
+
+    def alive_nodes(self) -> List[int]:
+        return sorted(self._alive)
+
+    # -- NodeEnvironment protocol ----------------------------------------------
+
+    def position_of(self, node_id: int) -> Point:
+        return self.mobility.position_at(node_id, self.sim.now)
+
+    def distance(self, a: Point, b: Point) -> float:
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        if self.torus:
+            dx = min(dx, self.side - dx)
+            dy = min(dy, self.side - dy)
+        return math.hypot(dx, dy)
+
+    def _ensure_grid(self, cell: float) -> SpatialGrid:
+        stale = (self._grid is None
+                 or self._grid_cell != cell
+                 or self.sim.now - self._grid_time >= self.grid_refresh)
+        if stale:
+            grid = SpatialGrid(side=self.side, cell_size=cell, torus=self.torus)
+            for node_id in self._alive:
+                grid.insert(node_id, self.position_of(node_id))
+            self._grid = grid
+            self._grid_time = self.sim.now
+            self._grid_cell = cell
+        return self._grid
+
+    def nodes_near(self, pos: Point, radius: float) -> List[int]:
+        grid = self._ensure_grid(cell=max(radius, 1.0))
+        margin = 2 * self.max_speed * self.grid_refresh
+        candidates = grid.within(pos, radius + margin)
+        return [
+            nid for nid in candidates
+            if nid in self._alive
+            and self.distance(pos, self.position_of(nid)) <= radius
+        ]

@@ -1,0 +1,383 @@
+"""Tests for the closed-form theory: intersection, degradation, walks,
+costs, flooding coverage, resilience."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    access_cost_rgg,
+    asymmetric_quorum_sizes,
+    combination_cost,
+    coverage_granularity,
+    crossing_time_at_connectivity_threshold,
+    crossing_time_lower_bound,
+    epsilon_for_sizes,
+    estimate_network_size,
+    expected_coverage,
+    failure_probability_bound,
+    fault_tolerance,
+    figure3_table,
+    figure6_table,
+    intersection_after_churn,
+    intersection_probability,
+    malkhi_miss_bound,
+    malkhi_quorum_size,
+    max_tolerable_churn,
+    min_degree_for_connectivity,
+    miss_failures_adjusted_lookup,
+    miss_failures_constant_lookup,
+    miss_joins_adjusted_lookup,
+    miss_joins_and_failures,
+    miss_joins_constant_lookup,
+    miss_probability_bound,
+    miss_probability_exact,
+    optimal_lookup_size,
+    optimal_size_ratio,
+    path_x_path_quorum_size,
+    pct_complete_graph,
+    pct_empirical,
+    pct_upper_bound,
+    per_node_access_cost,
+    refresh_schedule,
+    required_quorum_product,
+    rgg_theorem_radius_ok,
+    samples_for_size_estimate,
+    strategy_profile,
+    survivable_failures,
+    symmetric_quorum_size,
+    total_cost,
+    ttl_for_coverage,
+    uniform_sampling_cost,
+)
+from repro.analysis.degradation import RefreshPlan
+
+
+class TestIntersection:
+    def test_exact_below_bound(self):
+        for qa, ql, n in [(10, 10, 100), (20, 30, 400), (5, 50, 200)]:
+            assert miss_probability_exact(qa, ql, n) <= \
+                miss_probability_bound(qa, ql, n)
+
+    def test_bound_formula(self):
+        assert miss_probability_bound(20, 20, 400) == pytest.approx(
+            math.exp(-1.0))
+
+    def test_exact_zero_when_quorums_cover_universe(self):
+        assert miss_probability_exact(60, 50, 100) == 0.0
+
+    def test_exact_one_when_lookup_empty(self):
+        assert miss_probability_exact(10, 0, 100) == 1.0
+
+    def test_intersection_probability_complement(self):
+        p = intersection_probability(20, 20, 400, exact=True)
+        assert p == pytest.approx(1.0 - miss_probability_exact(20, 20, 400))
+
+    def test_corollary_5_3_product(self):
+        product = required_quorum_product(800, 0.1)
+        assert product == pytest.approx(800 * math.log(10))
+
+    def test_symmetric_size_guarantees_epsilon(self):
+        n, eps = 800, 0.1
+        q = symmetric_quorum_size(n, eps)
+        assert miss_probability_bound(q, q, n) <= eps
+
+    def test_symmetric_size_is_theta_sqrt_n(self):
+        q = symmetric_quorum_size(900, 0.1)
+        assert 30 <= q <= 2 * 30 * math.sqrt(math.log(10)) + 2
+
+    def test_asymmetric_sizes_meet_product(self):
+        qa, ql = asymmetric_quorum_sizes(800, 0.1, ratio_l_over_a=0.5)
+        assert qa * ql >= required_quorum_product(800, 0.1) - 1
+        assert ql / qa == pytest.approx(0.5, rel=0.15)
+
+    def test_epsilon_for_sizes_inverse(self):
+        eps = epsilon_for_sizes(40, 40, 800)
+        assert eps == pytest.approx(math.exp(-2.0))
+
+    def test_malkhi_size_and_bound(self):
+        assert malkhi_quorum_size(100, 2.0) == 20
+        assert malkhi_miss_bound(2.0) == pytest.approx(math.exp(-4))
+
+    def test_paper_example_0_9_intersection(self):
+        # 1-eps = 0.9 needs |Qa||Ql| >= 2.3 n (Section 5.2 example).
+        assert required_quorum_product(1000, 0.1) == pytest.approx(
+            2.302 * 1000, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            miss_probability_bound(10, 10, 0)
+        with pytest.raises(ValueError):
+            miss_probability_bound(101, 10, 100)
+        with pytest.raises(ValueError):
+            required_quorum_product(100, 0.0)
+
+    @given(st.integers(2, 500), st.integers(1, 40), st.integers(1, 40))
+    @settings(max_examples=50)
+    def test_exact_in_unit_interval(self, n, qa, ql):
+        qa, ql = min(qa, n), min(ql, n)
+        p = miss_probability_exact(qa, ql, n)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.integers(10, 500), st.integers(1, 9))
+    @settings(max_examples=50)
+    def test_miss_decreases_in_quorum_size(self, n, q):
+        q2 = min(q + 1, n)
+        assert miss_probability_exact(q2, q, n) <= \
+            miss_probability_exact(q, q, n) + 1e-12
+
+
+class TestDegradation:
+    def test_failures_constant_is_flat(self):
+        assert miss_failures_constant_lookup(0.05, 0.5) == 0.05
+
+    def test_failures_adjusted_grows(self):
+        assert miss_failures_adjusted_lookup(0.05, 0.3) > 0.05
+
+    def test_joins_constant_grows(self):
+        assert miss_joins_constant_lookup(0.05, 0.3) > 0.05
+
+    def test_joins_adjusted_better_than_constant(self):
+        assert miss_joins_adjusted_lookup(0.05, 0.5) < \
+            miss_joins_constant_lookup(0.05, 0.5)
+
+    def test_both_formula(self):
+        assert miss_joins_and_failures(0.05, 0.3) == pytest.approx(
+            0.05 ** 0.7)
+
+    def test_paper_example_30_percent(self):
+        # eps=0.05, 30% churn: intersection drops to just below 0.9.
+        inter = intersection_after_churn(0.05, 0.3, "both")
+        assert 0.87 <= inter <= 0.93
+
+    def test_zero_churn_no_degradation(self):
+        for mode in ("failures-adjusted", "joins-constant", "both"):
+            assert intersection_after_churn(0.05, 0.0, mode) == \
+                pytest.approx(0.95)
+
+    def test_monotone_in_churn(self):
+        vals = [intersection_after_churn(0.05, f, "both")
+                for f in (0.0, 0.2, 0.4, 0.6)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_max_tolerable_churn_both(self):
+        f = max_tolerable_churn(0.05, 0.9, "both")
+        assert intersection_after_churn(0.05, f, "both") == pytest.approx(
+            0.9, abs=1e-9)
+
+    def test_max_tolerable_infinite_for_failures_constant(self):
+        assert math.isinf(max_tolerable_churn(0.05, 0.9,
+                                              "failures-constant"))
+
+    def test_max_tolerable_zero_when_already_below(self):
+        assert max_tolerable_churn(0.2, 0.9, "both") == 0.0
+
+    def test_refresh_schedule_daily_example(self):
+        # 30% churn per day, floor 0.9, eps 0.05 -> refresh ~ once a day.
+        per_second = 0.3 / 86400.0
+        plan = refresh_schedule(0.05, 0.9, per_second, "both")
+        assert plan.refresh_interval_seconds == pytest.approx(
+            86400.0, rel=0.35)
+
+    def test_refresh_schedule_zero_churn(self):
+        plan = refresh_schedule(0.05, 0.9, 0.0)
+        assert math.isinf(plan.refresh_interval_seconds)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            intersection_after_churn(0.05, 0.1, "meteor")
+
+
+class TestWalkTheory:
+    def test_pct_bound_linear(self):
+        assert pct_upper_bound(100) == pytest.approx(2 * 1.7 * 100)
+
+    def test_pct_empirical_paper_value(self):
+        # PCT(sqrt(800)) ~ 1.7 * 28 ~ 48 steps (Section 4.2).
+        assert pct_empirical(28) == pytest.approx(47.6)
+
+    def test_pct_complete_graph_half(self):
+        # PCT_complete(n/2) ~ ln(2) n.
+        n = 1000
+        assert pct_complete_graph(n, n // 2) == pytest.approx(
+            math.log(2) * n, rel=0.01)
+
+    def test_pct_complete_graph_full_is_coupon_collector(self):
+        n = 100
+        assert pct_complete_graph(n, n) == pytest.approx(
+            (n - 1) * sum(1 / k for k in range(1, n)), rel=1e-9)
+
+    def test_crossing_time_r_squared(self):
+        assert crossing_time_lower_bound(100, 0.1) == pytest.approx(100.0)
+
+    def test_crossing_time_at_threshold(self):
+        assert crossing_time_at_connectivity_threshold(800) == pytest.approx(
+            800 / math.log(800))
+
+    def test_path_x_path_size_paper_example(self):
+        # n=800: |Q| ~ 1.5 * 800 / ln(800) ~ 170 ~ n/4.7 (Section 8.5).
+        q = path_x_path_quorum_size(800)
+        assert 165 <= q <= 185
+
+    def test_mixing_cost(self):
+        assert uniform_sampling_cost(28, 800) == pytest.approx(28 * 400)
+
+    def test_theorem_radius_check(self):
+        assert rgg_theorem_radius_ok(100, 0.8)
+        assert not rgg_theorem_radius_ok(100, 0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pct_upper_bound(0)
+        with pytest.raises(ValueError):
+            pct_complete_graph(10, 11)
+
+
+class TestCosts:
+    def test_profiles_match_figure3(self):
+        assert strategy_profile("RANDOM").needs_routing
+        assert strategy_profile("RANDOM").needs_membership
+        assert not strategy_profile("PATH").needs_routing
+        assert strategy_profile("PATH").early_halting
+        assert strategy_profile("PATH").lookup_replies == "one"
+        assert strategy_profile("FLOODING").lookup_replies == "multiple"
+        assert not strategy_profile("FLOODING").early_halting
+
+    def test_uniform_random_flags(self):
+        assert strategy_profile("RANDOM").uniform_random
+        assert strategy_profile("RANDOM-SAMPLING").uniform_random
+        assert not strategy_profile("RANDOM-OPT").uniform_random
+        assert not strategy_profile("UNIQUE-PATH").uniform_random
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            strategy_profile("CARRIER-PIGEON")
+
+    def test_random_cost_scales_with_route_length(self):
+        q = 28
+        assert access_cost_rgg("RANDOM", 800, q) == pytest.approx(
+            q * math.sqrt(800 / math.log(800)))
+
+    def test_path_cost_linear(self):
+        assert access_cost_rgg("PATH", 800, 28) == pytest.approx(1.7 * 28)
+
+    def test_sampling_most_expensive(self):
+        q, n = 28, 800
+        costs = {s: access_cost_rgg(s, n, q)
+                 for s in ("RANDOM", "RANDOM-SAMPLING", "PATH", "FLOODING")}
+        assert costs["RANDOM-SAMPLING"] == max(costs.values())
+        assert costs["PATH"] < costs["RANDOM"]
+
+    def test_lemma_5_6_ratio(self):
+        # Paper example: tau=10, Cost_a=D=5, Cost_l=1 -> ratio 1/2.
+        assert optimal_size_ratio(10, 5.0, 1.0) == pytest.approx(0.5)
+
+    def test_optimal_lookup_size_minimises_total(self):
+        n, eps, tau, ca, cl = 800, 0.1, 10.0, 5.0, 1.0
+        ql_star = optimal_lookup_size(n, eps, tau, ca, cl)
+        product = required_quorum_product(n, eps)
+
+        def total(ql):
+            qa = product / ql
+            return total_cost(100, qa, ca, int(100 * tau), ql, cl)
+
+        assert total(ql_star) <= total(ql_star * 1.3) + 1e-6
+        assert total(ql_star) <= total(ql_star * 0.7) + 1e-6
+
+    def test_figure3_table_rows(self):
+        rows = figure3_table(800)
+        assert len(rows) == 6
+        names = {r["strategy"] for r in rows}
+        assert "UNIQUE-PATH" in names
+
+    def test_figure6_random_mix_beats_path_path(self):
+        combos = {(c.advertise, c.lookup): c for c in figure6_table(800)}
+        rand_path = combos[("RANDOM", "PATH")]
+        path_path = combos[("PATH", "PATH")]
+        assert rand_path.lookup_cost < path_path.lookup_cost
+
+    def test_combination_cost_combined(self):
+        c = combination_cost("RANDOM", "PATH", 800)
+        assert c.combined == pytest.approx(c.advertise_cost + c.lookup_cost)
+
+    def test_per_node_cost(self):
+        assert per_node_access_cost("PATH", 800, 28) == pytest.approx(1.7)
+
+
+class TestFloodingModel:
+    def test_ttl_zero_covers_origin(self):
+        assert expected_coverage(100, 10, 0) == 1.0
+
+    def test_coverage_monotone(self):
+        covs = [expected_coverage(1000, 10, t) for t in range(1, 8)]
+        assert covs == sorted(covs)
+
+    def test_coverage_capped_at_n(self):
+        assert expected_coverage(50, 10, 100) == 50.0
+
+    def test_granularity_shape_matches_paper(self):
+        # CG(3) > 2; CG(4) between 1.25 and 1.9 (Figure 5).
+        cg3 = coverage_granularity(10_000, 10, 3)
+        cg4 = coverage_granularity(10_000, 10, 4)
+        assert cg3 > 2.0
+        assert 1.25 <= cg4 <= 1.9
+
+    def test_ttl_for_coverage_reaches_target(self):
+        ttl = ttl_for_coverage(800, 10, 56)
+        assert expected_coverage(800, 10, ttl) >= 56
+        assert expected_coverage(800, 10, ttl - 1) < 56
+
+    def test_ttl_for_single_node(self):
+        assert ttl_for_coverage(800, 10, 1) == 0
+
+    def test_ttl_for_impossible_target(self):
+        with pytest.raises(ValueError):
+            ttl_for_coverage(50, 10, 100)
+
+
+class TestResilience:
+    def test_fault_tolerance_formula(self):
+        # Size k*sqrt(n): tolerance n - k sqrt(n) + 1 (Section 3).
+        n, k = 400, 2
+        q = k * 20
+        assert fault_tolerance(n, q) == n - q + 1
+
+    def test_fault_tolerance_is_omega_n(self):
+        assert fault_tolerance(10_000, 200) > 9_000
+
+    def test_failure_probability_tiny_for_small_p(self):
+        assert failure_probability_bound(1000, 2.0, 0.3) < 1e-10
+
+    def test_failure_probability_vacuous_for_huge_p(self):
+        assert failure_probability_bound(100, 2.0, 0.9) == 1.0
+
+    def test_min_degree_is_ln_n(self):
+        assert min_degree_for_connectivity(1000) == pytest.approx(
+            math.log(1000))
+
+    def test_survivable_failures_paper_example(self):
+        # n=1000, d_avg=14: about half the nodes may fail (Section 6.1).
+        surv = survivable_failures(1000, 14.0)
+        assert 300 <= surv <= 650
+
+    def test_denser_network_survives_more(self):
+        assert survivable_failures(1000, 20.0) > survivable_failures(
+            1000, 10.0)
+
+    def test_network_size_estimation(self):
+        import random as _r
+        rng = _r.Random(0)
+        n = 500
+        samples = [rng.randrange(n) for _ in range(
+            samples_for_size_estimate(n, target_collisions=30))]
+        est = estimate_network_size(samples)
+        assert 0.5 * n <= est <= 2.0 * n
+
+    def test_estimate_inf_without_collisions(self):
+        assert math.isinf(estimate_network_size([1, 2, 3, 4]))
+
+    def test_estimate_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            estimate_network_size([1])

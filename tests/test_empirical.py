@@ -1,0 +1,138 @@
+"""Tests for empirical walk measurements: crossing time, spectral mixing,
+exact partial cover time."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crossing_time_lower_bound,
+    empirical_stationary_distribution,
+    exact_partial_cover_time,
+    md_walk_transition_matrix,
+    measure_crossing_time,
+    pct_complete_graph,
+    spectral_mixing_time,
+)
+from repro.geometry import rgg_for_density
+from repro.simnet import NetworkConfig, SimNetwork
+
+
+def complete_graph(n):
+    return [[v for v in range(n) if v != u] for u in range(n)]
+
+
+class TestExactPct:
+    def test_complete_graph_matches_coupon_collector(self):
+        n = 6
+        exact = exact_partial_cover_time(complete_graph(n), 0, n)
+        assert exact == pytest.approx(pct_complete_graph(n, n), rel=1e-9)
+
+    def test_partial_target_cheaper_than_full(self):
+        adj = complete_graph(6)
+        assert exact_partial_cover_time(adj, 0, 3) < \
+            exact_partial_cover_time(adj, 0, 6)
+
+    def test_path_graph_known_value(self):
+        # 0-1-2 line: full cover from 0 takes expected 4 steps.
+        adj = [[1], [0, 2], [1]]
+        assert exact_partial_cover_time(adj, 0, 3) == pytest.approx(4.0)
+
+    def test_target_one_is_free(self):
+        assert exact_partial_cover_time(complete_graph(4), 0, 1) == 0.0
+
+    def test_cycle_symmetric(self):
+        cycle = [[(u - 1) % 6, (u + 1) % 6] for u in range(6)]
+        a = exact_partial_cover_time(cycle, 0, 4)
+        b = exact_partial_cover_time(cycle, 3, 4)
+        assert a == pytest.approx(b)
+
+    def test_monte_carlo_agrees_with_exact(self):
+        adj = [[1, 2], [0, 2], [0, 1, 3], [2]]  # triangle with a tail
+        exact = exact_partial_cover_time(adj, 0, 4)
+        rng = random.Random(0)
+        total = 0
+        trials = 4000
+        for _ in range(trials):
+            current, visited, steps = 0, {0}, 0
+            while len(visited) < 4:
+                current = rng.choice(adj[current])
+                visited.add(current)
+                steps += 1
+            total += steps
+        assert total / trials == pytest.approx(exact, rel=0.07)
+
+    def test_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            exact_partial_cover_time(complete_graph(13), 0, 13)
+
+    def test_isolated_node_rejected(self):
+        with pytest.raises(ValueError):
+            exact_partial_cover_time([[1], [0], []], 0, 2)
+
+
+class TestCrossingTime:
+    def test_scales_with_network_size(self):
+        """Theorem 5.5: Omega(r^-2); at fixed density r^-2 ~ n."""
+        means = {}
+        for n in (50, 200):
+            net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=2))
+            m = measure_crossing_time(net, pairs=12, rng=random.Random(1))
+            means[n] = m.mean_steps
+        assert means[200] > 1.5 * means[50]
+
+    def test_respects_lower_bound_order(self):
+        n = 100
+        net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=3))
+        m = measure_crossing_time(net, pairs=12, rng=random.Random(1))
+        # Normalised r^2 ~ pi r^2 / a^2 = d_avg / n -> bound ~ n / d_avg.
+        bound = n / 10 / 4  # generous constant slack on the Omega bound
+        assert m.mean_steps >= bound
+
+    def test_no_timeouts_on_connected_graph(self):
+        net = SimNetwork(NetworkConfig(n=80, avg_degree=10, seed=4))
+        m = measure_crossing_time(net, pairs=10, rng=random.Random(2))
+        assert m.timeouts == 0
+        assert m.median_steps <= m.mean_steps * 3
+
+
+class TestSpectralMixing:
+    def make_graph(self, n, seed=5):
+        return rgg_for_density(n, avg_degree=12, rng=random.Random(seed),
+                               require_connected=True)
+
+    def test_transition_matrix_is_stochastic(self):
+        g = self.make_graph(40)
+        P = md_walk_transition_matrix(g)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert (P >= 0).all()
+
+    def test_uniform_is_stationary(self):
+        g = self.make_graph(40)
+        P = md_walk_transition_matrix(g)
+        pi = np.full(g.n, 1.0 / g.n)
+        assert np.allclose(pi @ P, pi)
+
+    def test_mixing_time_scales_linearly(self):
+        """RaWMS: MD-walk mixing ~ n/2 on RGGs — i.e. linear in n."""
+        t_small = spectral_mixing_time(self.make_graph(30, seed=6))
+        t_large = spectral_mixing_time(self.make_graph(120, seed=6))
+        assert t_large > 1.5 * t_small
+
+    def test_disconnected_graph_never_mixes(self):
+        from repro.geometry import random_geometric_graph
+        g = random_geometric_graph(20, radius=0.01, rng=random.Random(0))
+        assert math.isinf(spectral_mixing_time(g))
+
+    def test_empirical_distribution_flattens(self):
+        g = self.make_graph(30, seed=7)
+        short = empirical_stationary_distribution(g, steps=2, starts=600,
+                                                  rng=random.Random(1))
+        mixed = empirical_stationary_distribution(g, steps=200, starts=600,
+                                                  rng=random.Random(1))
+        uniform = np.full(g.n, 1.0 / g.n)
+        tv_short = 0.5 * np.abs(short - uniform).sum()
+        tv_mixed = 0.5 * np.abs(mixed - uniform).sum()
+        assert tv_mixed <= tv_short + 0.05

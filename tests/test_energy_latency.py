@@ -1,0 +1,153 @@
+"""Tests for the energy model and per-access latency accounting."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    FloodingStrategy,
+    ProbabilisticBiquorum,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.membership import FullMembership
+from repro.simnet import EnergyLedger, EnergyModel, NetworkConfig, SimNetwork
+
+
+def make_net(n=80, seed=0, **kw):
+    kw.setdefault("avg_degree", 10)
+    return SimNetwork(NetworkConfig(n=n, seed=seed, **kw))
+
+
+class TestEnergyLedger:
+    def test_unicast_charges_sender_and_receiver(self):
+        ledger = EnergyLedger()
+        ledger.charge_unicast(1, 2)
+        assert ledger.spent_by(1) == pytest.approx(1.0)
+        assert ledger.spent_by(2) == pytest.approx(0.8)
+
+    def test_broadcast_costs_more_per_frame(self):
+        model = EnergyModel()
+        uni = EnergyLedger(model)
+        bro = EnergyLedger(model)
+        uni.charge_unicast(0, 1)
+        bro.charge_broadcast(0, receivers=1)
+        assert bro.total > uni.total
+
+    def test_failed_unicast_still_costs_tx(self):
+        ledger = EnergyLedger()
+        ledger.charge_failed_unicast(3)
+        assert ledger.spent_by(3) == pytest.approx(1.0)
+
+    def test_bystander_header_decode(self):
+        ledger = EnergyLedger()
+        ledger.charge_unicast(0, 1, bystanders=10)
+        assert ledger.total > 1.8  # tx + rx + 10 header decodes
+
+    def test_max_node_share(self):
+        ledger = EnergyLedger()
+        for _ in range(9):
+            ledger.charge_unicast(0, 1)
+        assert ledger.max_node_share() == pytest.approx(
+            9.0 / ledger.total)
+
+    def test_empty_ledger(self):
+        ledger = EnergyLedger()
+        assert ledger.total == 0.0
+        assert ledger.max_node_share() == 0.0
+
+
+class TestNetworkEnergyAccounting:
+    def test_unicast_accumulates_energy(self):
+        net = make_net()
+        before = net.energy.total
+        v = net.true_neighbors(0)[0]
+        net.one_hop_unicast(0, v)
+        assert net.energy.total > before
+        assert net.energy.spent_by(0) >= 1.0
+
+    def test_failed_unicast_charges_sender_only(self):
+        net = make_net()
+        far = max(net.alive_nodes(),
+                  key=lambda u: net.distance(net.position(0),
+                                             net.position(u)))
+        net.one_hop_unicast(0, far)
+        assert net.energy.spent_by(0) == pytest.approx(1.0)
+        assert net.energy.spent_by(far) == 0.0
+
+    def test_broadcast_charges_all_receivers(self):
+        net = make_net()
+        receivers = net.one_hop_broadcast(0)
+        model = net.energy.model
+        expected = model.tx_broadcast + len(receivers) * model.rx_broadcast
+        assert net.energy.total >= expected - 1e-9
+
+    def test_flooding_lookup_costs_more_energy_than_walk(self):
+        """Section 4.4's energy argument, measured end to end."""
+        qa = max(1, round(2 * math.sqrt(80)))
+        ql = max(1, round(1.15 * math.sqrt(80)))
+
+        def run(lookup_strategy):
+            net = make_net(seed=5)
+            membership = FullMembership(net)
+            bq = ProbabilisticBiquorum(
+                net, advertise=RandomStrategy(membership),
+                lookup=lookup_strategy, advertise_size=qa, lookup_size=ql,
+                adjust_to_network_size=False)
+            stored = set()
+            bq.write(0, stored.add)
+            baseline = net.energy.total
+            rng = random.Random(1)
+            for _ in range(8):
+                bq.read(net.random_alive_node(rng),
+                        lambda v: "x" if v in stored else None)
+            return net.energy.total - baseline
+
+        walk_energy = run(UniquePathStrategy(rng=random.Random(2)))
+        flood_energy = run(FloodingStrategy(ttl=3))
+        assert flood_energy > walk_energy
+
+
+class TestAccessLatency:
+    def make_bq(self, lookup=None, seed=0):
+        net = make_net(seed=seed)
+        membership = FullMembership(net)
+        return net, ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=lookup or UniquePathStrategy(), epsilon=0.1)
+
+    def test_write_latency_recorded(self):
+        net, bq = self.make_bq()
+        result = bq.write(0, lambda v: None)
+        assert result.latency > 0.0
+
+    def test_read_latency_recorded(self):
+        net, bq = self.make_bq()
+        stored = set()
+        bq.write(0, stored.add)
+        result = bq.read(40, lambda v: "x" if v in stored else None)
+        assert result.latency >= 0.0
+
+    def test_latency_scales_with_hop_latency(self):
+        def measure(hop_latency, seed=3):
+            net = make_net(seed=seed, hop_latency=hop_latency)
+            membership = FullMembership(net)
+            bq = ProbabilisticBiquorum(
+                net, advertise=RandomStrategy(membership),
+                lookup=UniquePathStrategy(), epsilon=0.1)
+            return bq.write(0, lambda v: None).latency
+
+        assert measure(0.02) > measure(0.002)
+
+    def test_early_halting_cuts_lookup_latency(self):
+        stored_everywhere = lambda v: "x"
+        net1, bq1 = self.make_bq(UniquePathStrategy(early_halting=True),
+                                 seed=4)
+        net2, bq2 = self.make_bq(UniquePathStrategy(early_halting=False),
+                                 seed=4)
+        for bq in (bq1, bq2):
+            bq.write(0, lambda v: None)
+        r1 = bq1.read(40, stored_everywhere)
+        r2 = bq2.read(40, stored_everywhere)
+        assert r1.latency <= r2.latency

@@ -1,0 +1,202 @@
+"""Failure-injection tests: random frame drops, stale membership, mass
+failures, and continuous churn while the quorum system operates."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    FloodingStrategy,
+    ProbabilisticBiquorum,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.membership import FullMembership, RandomMembership
+from repro.randomwalk import random_walk
+from repro.services import LocationService
+from repro.simnet import ChurnProcess, NetworkConfig, SimNetwork
+
+
+def make_net(n=100, seed=0, **kw):
+    kw.setdefault("avg_degree", 10)
+    return SimNetwork(NetworkConfig(n=n, seed=seed, **kw))
+
+
+class TestRandomFrameDrops:
+    def test_salvation_overcomes_moderate_loss(self):
+        net = make_net(drop_prob=0.2, seed=1)
+        completions = 0
+        for i in range(10):
+            walk = random_walk(net, i, target_unique=12, salvation=True,
+                               rng=random.Random(i))
+            completions += walk.completed
+        assert completions >= 8
+
+    def test_without_salvation_loss_kills_walks(self):
+        net_s = make_net(drop_prob=0.3, seed=1)
+        net_n = make_net(drop_prob=0.3, seed=1)
+        with_s = sum(
+            random_walk(net_s, i, target_unique=12, salvation=True,
+                        rng=random.Random(i)).completed for i in range(12))
+        without = sum(
+            random_walk(net_n, i, target_unique=12, salvation=False,
+                        rng=random.Random(i)).completed for i in range(12))
+        assert with_s > without
+
+    def test_walk_messages_grow_with_loss(self):
+        clean = make_net(drop_prob=0.0, seed=2)
+        lossy = make_net(drop_prob=0.3, seed=2)
+        msgs_clean = sum(
+            random_walk(clean, i, target_unique=12,
+                        rng=random.Random(i)).messages for i in range(8))
+        msgs_lossy = sum(
+            random_walk(lossy, i, target_unique=12,
+                        rng=random.Random(i)).messages for i in range(8))
+        assert msgs_lossy > msgs_clean
+
+    def test_flooding_coverage_shrinks_under_loss(self):
+        clean = make_net(drop_prob=0.0, seed=3)
+        lossy = make_net(drop_prob=0.4, seed=3)
+        cov_clean = clean.flood(0, ttl=3).coverage
+        cov_lossy = lossy.flood(0, ttl=3).coverage
+        assert cov_lossy <= cov_clean
+
+    def test_biquorum_still_works_under_loss(self):
+        net = make_net(drop_prob=0.1, seed=4)
+        membership = FullMembership(net)
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=UniquePathStrategy(), epsilon=0.05)
+        svc = LocationService(bq)
+        rng = random.Random(5)
+        for i in range(5):
+            svc.advertise(net.random_alive_node(rng), f"k{i}", i)
+        hits = sum(svc.lookup(net.random_alive_node(rng),
+                              f"k{i % 5}").found for i in range(20))
+        assert hits >= 12
+
+
+class TestStaleMembership:
+    def test_adaptation_under_stale_views(self):
+        net = make_net(seed=6)
+        membership = RandomMembership(net, refresh_interval=1e9)
+        # Kill a third of the network; views remain fully stale.
+        victims = net.alive_nodes()[10:43]
+        for v in victims:
+            net.fail_node(v)
+        strategy = RandomStrategy(membership, adaptation_retries=4)
+        stored = []
+        result = strategy.advertise(net, 0, stored.append, target_size=12)
+        assert all(net.is_alive(v) for v in result.quorum)
+        # Adaptation fills most of the quorum despite 33% dead targets.
+        assert result.quorum_size >= 7
+
+    def test_lookup_skips_dead_members(self):
+        net = make_net(seed=7)
+        membership = FullMembership(net, refresh_interval=1e9)
+        strategy = RandomStrategy(membership)
+        stored = set()
+        adv = strategy.advertise(net, 0, stored.add, target_size=20)
+        for v in list(stored)[:10]:
+            net.fail_node(v)
+        result = strategy.lookup(
+            net, 50, lambda v: "x" if v in stored and net.is_alive(v) else None,
+            target_size=20)
+        assert all(net.is_alive(v) for v in result.quorum)
+
+
+class TestMassFailures:
+    def test_failures_only_intersection_holds(self):
+        """Section 6.1 case 1, end to end: fail 30% (no joins), keep |Ql|
+        constant — the hit ratio must NOT degrade."""
+        net = make_net(n=150, seed=8, avg_degree=15)
+        membership = FullMembership(net)
+        q0 = math.ceil(math.sqrt(150 * math.log(20)))
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=UniquePathStrategy(),
+            advertise_size=q0, lookup_size=q0,
+            adjust_to_network_size=False)
+        svc = LocationService(bq)
+        rng = random.Random(9)
+        keys = [f"k{i}" for i in range(6)]
+        for key in keys:
+            svc.advertise(net.random_alive_node(rng), key, key)
+
+        from repro.simnet import apply_churn
+        apply_churn(net, fail_fraction=0.3, rng=rng, keep_connected=True)
+        membership.refresh()
+
+        hits = sum(svc.lookup(net.random_alive_node(rng),
+                              rng.choice(keys)).found for _ in range(30))
+        assert hits / 30 >= 0.8
+
+    def test_quorum_survives_up_to_fault_tolerance(self):
+        """With q-sized quorums, data survives while >= q nodes live."""
+        net = make_net(n=60, seed=10, avg_degree=14)
+        membership = FullMembership(net)
+        strategy = RandomStrategy(membership)
+        stored = set()
+        strategy.advertise(net, 0, stored.add, target_size=15)
+        # Fail everything except the quorum and a couple of lookers.
+        survivors = set(stored) | {0, 1}
+        for v in net.alive_nodes():
+            if v not in survivors:
+                net.fail_node(v)
+        alive_owners = [v for v in stored if net.is_alive(v)]
+        assert len(alive_owners) == len(stored)
+
+    def test_disconnection_detected(self):
+        net = make_net(n=60, seed=11)
+        # Remove enough nodes without the connectivity guard to split it.
+        rng = random.Random(0)
+        from repro.simnet import apply_churn
+        apply_churn(net, fail_fraction=0.6, rng=rng, keep_connected=False)
+        # is_connected must report honestly either way.
+        assert net.is_connected() in (True, False)
+
+
+class TestContinuousChurnDuringOperation:
+    def test_service_operates_through_live_churn(self):
+        net = make_net(n=120, seed=12, avg_degree=15)
+        membership = RandomMembership(net, refresh_interval=20.0)
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=UniquePathStrategy(), epsilon=0.05)
+        svc = LocationService(bq)
+        rng = random.Random(13)
+        churn = ChurnProcess(net, failure_rate=0.05, join_rate=0.05,
+                             rng=random.Random(14), keep_connected=True)
+        keys = []
+        hits = attempts = 0
+        for i in range(15):
+            key = f"k{i}"
+            origin = net.random_alive_node(rng)
+            svc.advertise(origin, key, key)
+            keys.append(key)
+            net.advance(5.0)  # churn happens between operations
+            looker = net.random_alive_node(rng)
+            result = svc.lookup(looker, rng.choice(keys))
+            attempts += 1
+            hits += result.found
+        churn.stop()
+        assert hits / attempts >= 0.6
+
+    def test_flooding_lookup_through_churn(self):
+        net = make_net(n=100, seed=15, avg_degree=15)
+        membership = FullMembership(net)
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=FloodingStrategy(expanding_ring=True), epsilon=0.1)
+        svc = LocationService(bq)
+        rng = random.Random(16)
+        churn = ChurnProcess(net, failure_rate=0.03, rng=random.Random(17),
+                             keep_connected=True)
+        svc.advertise(net.random_alive_node(rng), "k", "v")
+        net.advance(30.0)
+        membership.refresh()
+        hits = sum(svc.lookup(net.random_alive_node(rng), "k").found
+                   for _ in range(10))
+        churn.stop()
+        assert hits >= 6

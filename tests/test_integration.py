@@ -1,0 +1,179 @@
+"""Cross-cutting integration tests: public API, packet-level vs graph-level
+fidelity, and full advertise/lookup pipelines under adverse conditions."""
+
+import math
+import random
+
+import pytest
+
+import repro
+from repro import (
+    FloodingStrategy,
+    FullMembership,
+    LocationService,
+    NetworkConfig,
+    ProbabilisticBiquorum,
+    RandomMembership,
+    RandomStrategy,
+    SimNetwork,
+    UniquePathStrategy,
+    apply_churn,
+    symmetric_quorum_size,
+)
+from repro.stack import AdhocStack, StackConfig
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_from_docstring(self):
+        net = SimNetwork(NetworkConfig(n=200, avg_degree=10, seed=7))
+        membership = FullMembership(net)
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(membership),
+            lookup=UniquePathStrategy(), epsilon=0.1)
+        svc = LocationService(bq)
+        svc.advertise(origin=0, key="printer", value=(12, 34))
+        assert svc.lookup(origin=150, key="printer").found
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestEndToEndPipelines:
+    def run_pipeline(self, advertise, lookup, net, keys=8, lookups=30,
+                     seed=3, **bq_kw):
+        bq = ProbabilisticBiquorum(net, advertise=advertise, lookup=lookup,
+                                   epsilon=0.1, **bq_kw)
+        svc = LocationService(bq)
+        rng = random.Random(seed)
+        for i in range(keys):
+            svc.advertise(net.random_alive_node(rng), f"k{i}", i)
+        hits = sum(
+            svc.lookup(net.random_alive_node(rng),
+                       f"k{rng.randrange(keys)}").found
+            for _ in range(lookups))
+        return hits / lookups
+
+    def test_random_x_flooding(self):
+        net = SimNetwork(NetworkConfig(n=120, avg_degree=10, seed=11))
+        ratio = self.run_pipeline(
+            RandomStrategy(FullMembership(net)),
+            FloodingStrategy(expanding_ring=True), net)
+        assert ratio >= 0.8
+
+    def test_random_membership_variant(self):
+        net = SimNetwork(NetworkConfig(n=120, avg_degree=10, seed=12))
+        ratio = self.run_pipeline(
+            RandomStrategy(RandomMembership(net)), UniquePathStrategy(), net)
+        assert ratio >= 0.8
+
+    def test_pipeline_under_mobility(self):
+        net = SimNetwork(NetworkConfig(n=120, avg_degree=10, seed=13,
+                                       mobility="waypoint", max_speed=2.0))
+        ratio = self.run_pipeline(
+            RandomStrategy(RandomMembership(net)),
+            UniquePathStrategy(local_repair=True), net)
+        assert ratio >= 0.75
+
+    def test_pipeline_survives_heavy_churn(self):
+        net = SimNetwork(NetworkConfig(n=150, avg_degree=15, seed=14))
+        membership = RandomMembership(net)
+        bq = ProbabilisticBiquorum(net, advertise=RandomStrategy(membership),
+                                   lookup=UniquePathStrategy(), epsilon=0.05)
+        svc = LocationService(bq)
+        rng = random.Random(5)
+        for i in range(6):
+            svc.advertise(net.random_alive_node(rng), f"k{i}", i)
+        apply_churn(net, fail_fraction=0.3, join_fraction=0.3, rng=rng,
+                    keep_connected=True)
+        membership.refresh()
+        hits = sum(
+            svc.lookup(net.random_alive_node(rng), f"k{i % 6}").found
+            for i in range(30))
+        # Section 6.1: a 30% churn should only mildly dent the intersection.
+        assert hits / 30 >= 0.6
+
+    def test_quorum_sizes_scale_with_sqrt_n(self):
+        small = symmetric_quorum_size(100, 0.1)
+        large = symmetric_quorum_size(400, 0.1)
+        assert large == pytest.approx(2 * small, abs=2)
+
+
+class TestCrossFidelity:
+    """The packet-level stack and the graph-level simulator must agree on
+    the phenomena the paper measures."""
+
+    def test_flood_coverage_agrees(self):
+        seed = 21
+        n, ttl = 30, 2
+        stack = AdhocStack(StackConfig(n=n, avg_degree=10, seed=seed))
+        stack.run(0.5)
+        stack.flood(0, "probe", ttl=ttl)
+        stack.run(4.0)
+        stack_cov = len({d for d, p, s in stack.received if p == "probe"})
+
+        # Same deployment in the graph-level simulator.
+        positions = [stack.env.position_of(i) for i in range(n)]
+        net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed,
+                                       require_connected=False),
+                         positions=positions)
+        graph_cov = net.flood(0, ttl=ttl).coverage
+
+        # Identical topology: coverage within broadcast-loss tolerance.
+        assert abs(stack_cov - graph_cov) <= max(3, 0.25 * graph_cov)
+
+    def test_unicast_reachability_agrees(self):
+        seed = 22
+        n = 25
+        stack = AdhocStack(StackConfig(n=n, avg_degree=10, seed=seed))
+        stack.run(0.5)
+        positions = [stack.env.position_of(i) for i in range(n)]
+        net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed,
+                                       require_connected=False),
+                         positions=positions)
+        dst = n - 1
+        graph_route = net.route(0, dst)
+        stack.send(0, dst, "x")
+        stack.run(8.0)
+        stack_delivered = ("x", 0) in stack.delivered_to(dst)
+        assert stack_delivered == graph_route.success
+
+    def test_route_hops_comparable(self):
+        seed = 23
+        n = 25
+        stack = AdhocStack(StackConfig(n=n, avg_degree=10, seed=seed))
+        stack.run(0.5)
+        positions = [stack.env.position_of(i) for i in range(n)]
+        net = SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed,
+                                       require_connected=False),
+                         positions=positions)
+        result = net.route(0, n - 1)
+        if result.success:
+            # AODV paths are near-shortest; graph-level uses BFS: the
+            # hop counts should be in the same ballpark.
+            stack.send(0, n - 1, "y")
+            stack.run(8.0)
+            if ("y", 0) in stack.delivered_to(n - 1):
+                assert result.hops <= n
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario_results(self):
+        import repro.experiments as ex
+
+        def run():
+            net = ex.make_network(60, seed=9)
+            membership = ex.make_membership(net, "random")
+            return ex.run_scenario(
+                net, advertise_strategy=RandomStrategy(membership),
+                lookup_strategy=UniquePathStrategy(),
+                advertise_size=15, lookup_size=9,
+                n_keys=4, n_lookups=15, seed=10)
+
+        a, b = run(), run()
+        assert a.hits == b.hits
+        assert a.lookup_messages_total == b.lookup_messages_total
+        assert a.advertise_messages == b.advertise_messages

@@ -1,0 +1,158 @@
+"""Tests for mobility models and the mobility manager."""
+
+import math
+import random
+
+import pytest
+
+from repro.mobility import (
+    FixedPlacement,
+    Leg,
+    MobilityManager,
+    RandomWaypoint,
+    StaticPlacement,
+    average_nodal_speed,
+)
+
+
+class TestLeg:
+    def test_interpolates_linearly(self):
+        leg = Leg(t0=0.0, p0=(0.0, 0.0), t1=10.0, p1=(10.0, 0.0))
+        assert leg.position_at(5.0) == (5.0, 0.0)
+
+    def test_clamps_before_start(self):
+        leg = Leg(t0=2.0, p0=(1.0, 1.0), t1=4.0, p1=(3.0, 3.0))
+        assert leg.position_at(0.0) == (1.0, 1.0)
+
+    def test_clamps_after_end(self):
+        leg = Leg(t0=2.0, p0=(1.0, 1.0), t1=4.0, p1=(3.0, 3.0))
+        assert leg.position_at(10.0) == (3.0, 3.0)
+
+    def test_pause_leg_constant(self):
+        leg = Leg(t0=0.0, p0=(2.0, 2.0), t1=5.0, p1=(2.0, 2.0))
+        assert leg.position_at(2.5) == (2.0, 2.0)
+
+    def test_infinite_leg(self):
+        leg = Leg(t0=0.0, p0=(1.0, 1.0), t1=math.inf, p1=(1.0, 1.0))
+        assert leg.position_at(1e9) == (1.0, 1.0)
+
+
+class TestStaticPlacement:
+    def test_positions_in_bounds(self):
+        model = StaticPlacement(side=50.0, rng=random.Random(0))
+        for nid in range(20):
+            x, y = model.initial_position(nid)
+            assert 0 <= x <= 50 and 0 <= y <= 50
+
+    def test_nodes_never_move(self):
+        model = StaticPlacement(side=50.0, rng=random.Random(0))
+        mgr = MobilityManager(model)
+        p0 = mgr.add_node(0)
+        assert mgr.position_at(0, 1e6) == p0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            StaticPlacement(side=0.0)
+
+
+class TestFixedPlacement:
+    def test_uses_given_positions(self):
+        model = FixedPlacement([(1.0, 2.0), (3.0, 4.0)])
+        assert model.initial_position(1) == (3.0, 4.0)
+
+
+class TestRandomWaypoint:
+    def make(self, **kw):
+        defaults = dict(side=100.0, min_speed=1.0, max_speed=2.0,
+                        pause_time=5.0, rng=random.Random(3))
+        defaults.update(kw)
+        return RandomWaypoint(**defaults)
+
+    def test_stays_in_bounds(self):
+        mgr = MobilityManager(self.make())
+        mgr.add_node(0)
+        for t in range(0, 500, 7):
+            x, y = mgr.position_at(0, float(t))
+            assert -1e-9 <= x <= 100 + 1e-9
+            assert -1e-9 <= y <= 100 + 1e-9
+
+    def test_node_actually_moves(self):
+        mgr = MobilityManager(self.make(pause_time=0.0))
+        p0 = mgr.add_node(0)
+        p1 = mgr.position_at(0, 200.0)
+        assert p0 != p1
+
+    def test_speed_respected_on_first_leg(self):
+        model = self.make(pause_time=0.0)
+        mgr = MobilityManager(model)
+        p0 = mgr.add_node(0, t=0.0)
+        dt = 0.5
+        p1 = mgr.position_at(0, dt)
+        dist = math.hypot(p1[0] - p0[0], p1[1] - p0[1])
+        assert dist <= model.max_speed * dt + 1e-9
+
+    def test_pause_alternates(self):
+        model = self.make(pause_time=1000.0)
+        mgr = MobilityManager(model)
+        mgr.add_node(0, t=0.0)
+        # After the first (move) leg completes, a long pause follows:
+        p_mid = mgr.position_at(0, 300.0)
+        p_later = mgr.position_at(0, 400.0)
+        # During a 1000 s pause positions should match at some window.
+        assert p_mid == p_later or p_mid != p_later  # smoke: no crash
+        # Stronger: directly request legs.
+        leg1 = model.next_leg(1, 0.0, (5.0, 5.0))
+        leg2 = model.next_leg(1, leg1.t1, leg1.p1)
+        assert leg2.p0 == leg2.p1  # pause leg
+        assert leg2.t1 - leg2.t0 == 1000.0
+
+    def test_invalid_speeds(self):
+        with pytest.raises(ValueError):
+            self.make(min_speed=0.0)
+        with pytest.raises(ValueError):
+            self.make(min_speed=3.0, max_speed=2.0)
+
+    def test_invalid_pause(self):
+        with pytest.raises(ValueError):
+            self.make(pause_time=-1.0)
+
+    def test_average_speed_in_range(self):
+        model = self.make()
+        avg = average_nodal_speed(model, samples=2000)
+        assert 1.0 < avg < 2.0
+
+
+class TestMobilityManager:
+    def test_add_remove(self):
+        mgr = MobilityManager(StaticPlacement(10.0, rng=random.Random(0)))
+        mgr.add_node(1)
+        assert 1 in mgr
+        mgr.remove_node(1)
+        assert 1 not in mgr
+
+    def test_explicit_position(self):
+        mgr = MobilityManager(StaticPlacement(10.0, rng=random.Random(0)))
+        mgr.add_node(0, position=(3.0, 4.0))
+        assert mgr.position_at(0, 0.0) == (3.0, 4.0)
+
+    def test_snapshot_covers_all(self):
+        mgr = MobilityManager(StaticPlacement(10.0, rng=random.Random(0)))
+        for i in range(5):
+            mgr.add_node(i)
+        snap = mgr.snapshot(0.0)
+        assert sorted(snap) == list(range(5))
+
+    def test_queries_are_monotone_consistent(self):
+        model = RandomWaypoint(side=100.0, min_speed=1.0, max_speed=1.0,
+                               pause_time=0.0, rng=random.Random(1))
+        mgr = MobilityManager(model)
+        mgr.add_node(0, t=0.0)
+        a = mgr.position_at(0, 10.0)
+        b = mgr.position_at(0, 10.0)
+        assert a == b
+
+    def test_node_ids(self):
+        mgr = MobilityManager(StaticPlacement(10.0, rng=random.Random(0)))
+        mgr.add_node(3)
+        mgr.add_node(7)
+        assert sorted(mgr.node_ids()) == [3, 7]

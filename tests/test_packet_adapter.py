@@ -1,0 +1,130 @@
+"""Tests for running quorum strategies over the packet-level stack."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FloodingStrategy,
+    ProbabilisticBiquorum,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.services import LocationService
+from repro.stack import AdhocStack, PacketQuorumNetwork, StackConfig
+
+
+class _OracleMembership:
+    """Full-membership oracle over any quorum network facade."""
+
+    def __init__(self, net):
+        self.net = net
+
+    def sample_for(self, node_id, k, rng):
+        pool = [v for v in self.net.alive_nodes() if v != node_id]
+        return rng.sample(pool, min(k, len(pool)))
+
+
+@pytest.fixture(scope="module")
+def packet_net():
+    stack = AdhocStack(StackConfig(n=25, avg_degree=10, seed=9))
+    net = PacketQuorumNetwork(stack)
+    net.advance(11.0)  # one HELLO round populates neighbor tables
+    return net
+
+
+class TestAdapterPrimitives:
+    def test_hello_beacons_populate_tables(self, packet_net):
+        known = set(packet_net.known_neighbors(0))
+        true = set(packet_net.true_neighbors(0))
+        assert known, "no HELLOs received"
+        assert known <= true | known  # sanity
+        # In a static network the beacon table converges to ground truth.
+        assert len(known & true) >= max(1, len(true) - 2)
+
+    def test_one_hop_unicast_to_neighbor(self, packet_net):
+        v = packet_net.true_neighbors(0)[0]
+        assert packet_net.one_hop_unicast(0, v)
+
+    def test_one_hop_unicast_failure_notification(self, packet_net):
+        far = max(packet_net.alive_nodes(),
+                  key=lambda u: packet_net.stack.env.distance(
+                      packet_net.position(0), packet_net.position(u)))
+        if not packet_net.in_range(0, far):
+            assert not packet_net.one_hop_unicast(0, far)
+
+    def test_route_with_probe_ack(self, packet_net):
+        result = packet_net.route(0, 20)
+        assert result.success
+        assert result.data_messages >= 1
+
+    def test_route_counts_aodv_control(self, packet_net):
+        # A route to a fresh destination costs discovery frames.
+        result = packet_net.route(3, 17)
+        assert result.success
+        assert result.routing_messages >= 0
+
+    def test_flood_covers_neighborhood(self, packet_net):
+        outcome = packet_net.flood(5, ttl=2)
+        assert outcome.coverage >= len(packet_net.true_neighbors(5))
+        assert outcome.covered[5] == 0
+        # Reverse paths reach the origin.
+        node = max(outcome.covered, key=outcome.covered.get)
+        path = outcome.reverse_path(node)
+        assert path[-1] == 5
+
+    def test_discover_path_unsupported(self, packet_net):
+        with pytest.raises(NotImplementedError):
+            packet_net.discover_path(0, 5)
+
+
+class TestStrategiesOverPackets:
+    def test_random_advertise(self, packet_net):
+        strategy = RandomStrategy(_OracleMembership(packet_net),
+                                  rng=random.Random(1))
+        stored = set()
+        result = strategy.advertise(packet_net, 0, stored.add, target_size=8)
+        assert result.success
+        assert result.quorum_size == 8
+        assert result.routing_messages > 0  # real AODV discovery happened
+
+    def test_unique_path_lookup_with_reply(self, packet_net):
+        adv = RandomStrategy(_OracleMembership(packet_net),
+                             rng=random.Random(2))
+        stored = set()
+        adv.advertise(packet_net, 0, stored.add, target_size=10)
+        lookup = UniquePathStrategy(rng=random.Random(3))
+        result = lookup.lookup(
+            packet_net, 12, lambda v: "x" if v in stored else None,
+            target_size=8)
+        if result.found:
+            assert result.reply_delivered
+        else:
+            assert result.quorum_size >= 6
+
+    def test_flooding_lookup(self, packet_net):
+        adv = RandomStrategy(_OracleMembership(packet_net),
+                             rng=random.Random(4))
+        stored = set()
+        adv.advertise(packet_net, 1, stored.add, target_size=10)
+        result = FloodingStrategy(ttl=3).lookup(
+            packet_net, 12, lambda v: "x" if v in stored else None,
+            target_size=10)
+        assert result.found
+
+    def test_full_location_service_pipeline(self):
+        stack = AdhocStack(StackConfig(n=20, avg_degree=10, seed=13))
+        net = PacketQuorumNetwork(stack)
+        net.advance(11.0)
+        bq = ProbabilisticBiquorum(
+            net, advertise=RandomStrategy(_OracleMembership(net),
+                                          rng=random.Random(5)),
+            lookup=UniquePathStrategy(rng=random.Random(6)),
+            epsilon=0.1)
+        svc = LocationService(bq)
+        svc.advertise(0, "sensor", "reading-42")
+        rng = random.Random(7)
+        hits = sum(svc.lookup(net.random_alive_node(rng), "sensor").found
+                   for _ in range(6))
+        # Tiny 20-node net: quorums of ~8 intersect essentially always.
+        assert hits >= 4

@@ -1,0 +1,274 @@
+"""Tests for PHY parameters, path loss calibration, and channel models."""
+
+import math
+
+import pytest
+
+from repro.phy import (
+    DEFAULT_PHY,
+    FreeSpace,
+    InversePowerLaw,
+    PhyParams,
+    ProtocolChannel,
+    SINRChannel,
+    TwoRayGround,
+    dbm_to_mw,
+    default_pathloss,
+    mw_to_dbm,
+)
+from repro.sim import Simulator
+
+
+class TestUnits:
+    def test_dbm_zero_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_paper_tx_power(self):
+        assert dbm_to_mw(15.0) == pytest.approx(31.62, rel=1e-3)
+
+    def test_paper_rx_thresh(self):
+        assert dbm_to_mw(-71.0) == pytest.approx(7.9433e-8, rel=1e-3)
+
+    def test_roundtrip(self):
+        assert mw_to_dbm(dbm_to_mw(-42.5)) == pytest.approx(-42.5)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+
+class TestPhyParams:
+    def test_defaults_match_paper_figure2(self):
+        p = PhyParams()
+        assert p.tx_power_dbm == 15.0
+        assert p.rx_thresh_dbm == -71.0
+        assert p.cs_thresh_dbm == -77.0
+        assert p.noise_dbm == -101.0
+        assert p.sinr_thresh == 10.0
+        assert p.ideal_range_m == 200.0
+        assert p.carrier_sense_range_m == 299.0
+
+    def test_broadcast_slower_than_unicast(self):
+        p = PhyParams()
+        assert p.tx_duration(512, broadcast=True) > p.tx_duration(512)
+
+    def test_duration_scales_with_size(self):
+        p = PhyParams()
+        assert p.tx_duration(1024) > p.tx_duration(512)
+
+    def test_512b_unicast_duration(self):
+        p = PhyParams()
+        # (512+58)*8 bits at 11 Mbps
+        assert p.tx_duration(512) == pytest.approx(570 * 8 / 11e6)
+
+
+class TestPathLossCalibration:
+    """The paper's thresholds must fall out of the two-ray model."""
+
+    def setup_method(self):
+        self.p = PhyParams()
+        self.model = default_pathloss(self.p)
+
+    def test_rx_range_is_200m(self):
+        rng = self.model.range_for_threshold(self.p.tx_power_mw,
+                                             self.p.rx_thresh_mw)
+        assert rng == pytest.approx(200.0, rel=0.02)
+
+    def test_cs_range_is_299m(self):
+        rng = self.model.range_for_threshold(self.p.tx_power_mw,
+                                             self.p.cs_thresh_mw)
+        assert rng == pytest.approx(299.0, rel=0.02)
+
+    def test_power_at_200m_meets_rx_thresh(self):
+        rx = self.model.received_power_mw(self.p.tx_power_mw, 200.0)
+        assert mw_to_dbm(rx) == pytest.approx(-71.0, abs=0.3)
+
+    def test_crossover_between_ranges(self):
+        assert 200.0 < self.model.crossover_m < 299.0
+
+    def test_monotonically_decreasing(self):
+        prev = math.inf
+        for d in (1, 50, 150, 226, 250, 400, 1000):
+            cur = self.model.received_power_mw(self.p.tx_power_mw, float(d))
+            assert cur < prev
+            prev = cur
+
+    def test_zero_distance_full_power(self):
+        assert self.model.received_power_mw(10.0, 0.0) == 10.0
+
+
+class TestFreeSpaceAndPowerLaw:
+    def test_free_space_inverse_square(self):
+        m = FreeSpace(wavelength_m=0.125)
+        p1 = m.received_power_mw(10.0, 100.0)
+        p2 = m.received_power_mw(10.0, 200.0)
+        assert p1 / p2 == pytest.approx(4.0)
+
+    def test_power_law_reference_calibration(self):
+        m = InversePowerLaw(alpha=2.0)
+        rx = m.received_power_mw(dbm_to_mw(15.0), 200.0)
+        assert rx == pytest.approx(dbm_to_mw(-71.0), rel=1e-6)
+
+    def test_power_law_alpha_effect(self):
+        shallow = InversePowerLaw(alpha=2.0)
+        steep = InversePowerLaw(alpha=4.0)
+        # Both are calibrated at 200 m; beyond it the steeper decays faster.
+        assert (steep.received_power_mw(1.0, 400.0)
+                < shallow.received_power_mw(1.0, 400.0))
+
+
+class _Env:
+    """Minimal static NodeEnvironment for channel tests."""
+
+    def __init__(self, positions):
+        self.positions = dict(positions)
+        self.dead = set()
+
+    def position_of(self, node_id):
+        return self.positions[node_id]
+
+    def nodes_near(self, pos, radius):
+        out = []
+        for nid, p in self.positions.items():
+            if nid in self.dead:
+                continue
+            if math.hypot(p[0] - pos[0], p[1] - pos[1]) <= radius:
+                out.append(nid)
+        return out
+
+    def is_alive(self, node_id):
+        return node_id not in self.dead
+
+    def distance(self, a, b):
+        return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class TestSINRChannel:
+    def make(self, positions):
+        sim = Simulator()
+        env = _Env(positions)
+        ch = SINRChannel(sim, env)
+        return sim, env, ch
+
+    def test_delivery_in_range(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "hello", 0.001)
+        sim.run()
+        assert got == ["hello"]
+
+    def test_no_delivery_out_of_range(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (500, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "hello", 0.001)
+        sim.run()
+        assert got == []
+
+    def test_dead_node_does_not_receive(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        env.dead.add(1)
+        ch.transmit(0, "hello", 0.001)
+        sim.run()
+        assert got == []
+
+    def test_collision_destroys_both_at_midpoint(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0), 2: (200, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "a", 0.001)
+        ch.transmit(2, "b", 0.001)
+        sim.run()
+        # Node 1 sits equidistant: SINR ~ 1 << 10 for both frames.
+        assert got == []
+        assert ch.frames_lost_collision >= 2
+
+    def test_capture_effect_near_transmitter(self):
+        # Receiver very close to one transmitter, far from the interferer:
+        # the strong frame is captured despite the overlap.
+        sim, env, ch = self.make({0: (0, 0), 1: (10, 0), 2: (280, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "strong", 0.001)
+        ch.transmit(2, "weak", 0.001)
+        sim.run()
+        assert "strong" in got
+        assert "weak" not in got
+
+    def test_half_duplex_sender_misses(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        got = []
+        ch.attach(0, lambda rx, frame, power: got.append(frame))
+        ch.attach(1, lambda rx, frame, power: None)
+        ch.transmit(0, "a", 0.001)
+        ch.transmit(1, "b", 0.001)  # overlaps: 0 is transmitting
+        sim.run()
+        assert got == []
+
+    def test_carrier_busy_within_cs_range(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (250, 0)})
+        ch.attach(1, lambda rx, frame, power: None)
+        ch.transmit(0, "x", 0.01)
+        assert ch.carrier_busy(1)
+
+    def test_carrier_idle_when_silent(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        assert not ch.carrier_busy(1)
+
+    def test_is_transmitting(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        ch.transmit(0, "x", 0.01)
+        assert ch.is_transmitting(0)
+        assert not ch.is_transmitting(1)
+
+    def test_stats_counters(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (100, 0)})
+        ch.attach(1, lambda rx, frame, power: None)
+        ch.transmit(0, "x", 0.001)
+        sim.run()
+        assert ch.frames_sent == 1
+        assert ch.frames_delivered == 1
+
+
+class TestProtocolChannel:
+    def make(self, positions, delta=0.0):
+        sim = Simulator()
+        env = _Env(positions)
+        ch = ProtocolChannel(sim, env, range_m=200.0, delta=delta)
+        return sim, env, ch
+
+    def test_delivery_within_unit_disk(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (150, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "hi", 0.001)
+        sim.run()
+        assert got == ["hi"]
+
+    def test_no_delivery_beyond_radius(self):
+        sim, env, ch = self.make({0: (0, 0), 1: (201, 0)})
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "hi", 0.001)
+        sim.run()
+        assert got == []
+
+    def test_interference_guard_zone(self):
+        # Receiver 1 within range of both 0 and 2: simultaneous tx collide.
+        sim, env, ch = self.make({0: (0, 0), 1: (150, 0), 2: (300, 0)},
+                                 delta=0.0)
+        got = []
+        ch.attach(1, lambda rx, frame, power: got.append(frame))
+        ch.transmit(0, "a", 0.001)
+        ch.transmit(2, "b", 0.001)
+        sim.run()
+        assert got == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProtocolChannel(Simulator(), _Env({}), range_m=0.0)
+        with pytest.raises(ValueError):
+            ProtocolChannel(Simulator(), _Env({}), range_m=1.0, delta=-0.1)

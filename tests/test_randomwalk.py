@@ -1,0 +1,289 @@
+"""Tests for random walks, max-degree sampling, and reverse-path replies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.randomwalk import (
+    max_degree_walk_sample,
+    random_walk,
+    reverse_path_of,
+    send_reply,
+)
+from repro.simnet import NetworkConfig, SimNetwork
+
+
+def make_net(n=80, seed=0, **kw):
+    return SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed, **kw))
+
+
+class TestRandomWalk:
+    def test_visits_target_unique_nodes(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=10, rng=random.Random(1))
+        assert result.completed
+        assert result.unique_count == 10
+
+    def test_visited_are_distinct(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=15, rng=random.Random(1))
+        assert len(set(result.visited)) == len(result.visited)
+
+    def test_start_node_is_first_visited(self):
+        net = make_net()
+        result = random_walk(net, 3, target_unique=5, rng=random.Random(1))
+        assert result.visited[0] == 3
+        assert result.path[0] == 3
+
+    def test_path_steps_consistent(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=10, rng=random.Random(1))
+        assert len(result.path) == result.steps + 1
+
+    def test_path_hops_are_edges(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=10, rng=random.Random(1))
+        # Consecutive path nodes were within range when traversed; in a
+        # static network they still are.
+        for a, b in zip(result.path, result.path[1:]):
+            assert net.in_range(a, b)
+
+    def test_unique_walk_no_revisits_small_target(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=10, unique=True,
+                             rng=random.Random(1))
+        assert result.steps == result.unique_count - 1
+
+    def test_simple_walk_costs_at_least_unique(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=20, rng=random.Random(2))
+        assert result.steps >= result.unique_count - 1
+
+    def test_visit_callback_called_once_per_unique(self):
+        net = make_net()
+        seen = []
+        random_walk(net, 0, target_unique=12, visit=seen.append,
+                    rng=random.Random(1))
+        assert len(seen) == 12
+        assert len(set(seen)) == 12
+
+    def test_stop_predicate_halts_early(self):
+        net = make_net()
+        target_node = net.true_neighbors(0)[0]
+        result = random_walk(net, 0, target_unique=50,
+                             stop_predicate=lambda v: v == target_node,
+                             rng=random.Random(1))
+        assert result.halted_early
+        assert result.halted_at == target_node
+        assert result.unique_count < 50
+
+    def test_stop_predicate_on_start(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=50,
+                             stop_predicate=lambda v: v == 0)
+        assert result.halted_early and result.halted_at == 0
+        assert result.steps == 0
+
+    def test_max_steps_caps_walk(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=79, max_steps=5,
+                             rng=random.Random(1))
+        assert not result.completed
+        assert result.steps <= 5
+
+    def test_dead_start_node(self):
+        net = make_net()
+        net.fail_node(0)
+        result = random_walk(net, 0, target_unique=5)
+        assert result.dropped and not result.completed
+
+    def test_walk_dropped_without_salvation_on_stale_tables(self):
+        # With everything dead except the start, no forwarding possible.
+        net = make_net(n=30)
+        for v in net.alive_nodes():
+            if v != 0:
+                net.fail_node(v)
+        result = random_walk(net, 0, target_unique=5, salvation=False)
+        assert result.dropped
+
+    def test_salvation_retries_within_step(self):
+        net = make_net(seed=3)
+        # Kill half of node 0's neighbors but leave tables stale: salvation
+        # must find a live one.
+        nbrs = net.true_neighbors(0)
+        for v in nbrs[: len(nbrs) // 2]:
+            net.fail_node(v)
+        result = random_walk(net, 0, target_unique=5, salvation=True,
+                             rng=random.Random(4))
+        assert result.completed
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            random_walk(make_net(), 0, target_unique=0)
+
+    def test_messages_at_least_steps(self):
+        net = make_net()
+        result = random_walk(net, 0, target_unique=15, rng=random.Random(1))
+        assert result.messages >= result.steps
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_walk_invariants(self, seed):
+        net = make_net(n=50, seed=seed % 5)
+        result = random_walk(net, 0, target_unique=8,
+                             rng=random.Random(seed))
+        assert set(result.visited) <= set(result.path)
+        assert result.unique_count == len(set(result.path))
+
+
+class TestMaxDegreeWalk:
+    def test_returns_a_live_node(self):
+        net = make_net()
+        sample = max_degree_walk_sample(net, 0, walk_length=40,
+                                        rng=random.Random(1))
+        assert sample.node is not None
+        assert net.is_alive(sample.node)
+
+    def test_messages_bounded_by_steps_plus_salvage(self):
+        net = make_net()
+        sample = max_degree_walk_sample(net, 0, walk_length=40,
+                                        rng=random.Random(1))
+        assert sample.steps == 40
+        assert sample.messages <= sample.steps * 10
+
+    def test_self_loops_are_free(self):
+        net = make_net()
+        sample = max_degree_walk_sample(net, 0, walk_length=60,
+                                        max_degree=10_000,
+                                        rng=random.Random(1))
+        # With a huge max degree nearly every step self-loops.
+        assert sample.messages < 10
+
+    def test_path_starts_at_origin(self):
+        net = make_net()
+        sample = max_degree_walk_sample(net, 0, walk_length=30,
+                                        rng=random.Random(2))
+        assert sample.path[0] == 0
+        assert sample.path[-1] == sample.node
+
+    def test_sampling_roughly_uniform(self):
+        net = make_net(n=40, seed=5)
+        rng = random.Random(0)
+        counts = {}
+        for _ in range(150):
+            s = max_degree_walk_sample(net, 0, walk_length=40, rng=rng)
+            if s.node is not None:
+                counts[s.node] = counts.get(s.node, 0) + 1
+        # Should spread over a large fraction of the network.
+        assert len(counts) >= 25
+
+
+class TestReversePathOf:
+    def test_simple_reversal(self):
+        assert reverse_path_of([1, 2, 3]) == [3, 2, 1]
+
+    def test_erases_loops(self):
+        # Walk 1 -> 2 -> 1 -> 3: the 1->2->1 detour is cut entirely.
+        assert reverse_path_of([1, 2, 1, 3]) == [3, 1]
+
+    def test_single_node(self):
+        assert reverse_path_of([7]) == [7]
+
+    def test_no_duplicates_in_output(self):
+        rp = reverse_path_of([1, 2, 3, 2, 4, 1, 5])
+        assert len(set(rp)) == len(rp)
+
+    def test_consecutive_pairs_are_walk_hops(self):
+        path = [0, 1, 2, 1, 3, 4, 2, 5]
+        hops = {(a, b) for a, b in zip(path, path[1:])}
+        hops |= {(b, a) for a, b in zip(path, path[1:])}
+        rp = reverse_path_of(path)
+        for a, b in zip(rp, rp[1:]):
+            assert (a, b) in hops
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_properties(self, path):
+        rp = reverse_path_of(path)
+        assert rp[0] == path[-1]
+        assert rp[-1] == path[0]
+        assert set(rp) <= set(path)
+        assert len(set(rp)) == len(rp)
+        hops = {(a, b) for a, b in zip(path, path[1:])}
+        hops |= {(b, a) for a, b in zip(path, path[1:])}
+        for a, b in zip(rp, rp[1:]):
+            assert (a, b) in hops
+
+
+class TestSendReply:
+    def walk_then_reply(self, net, seed=1, **reply_kw):
+        result = random_walk(net, 0, target_unique=12,
+                             rng=random.Random(seed))
+        assert result.completed
+        rpath = reverse_path_of(result.path)
+        return send_reply(net, rpath, **reply_kw)
+
+    def test_reply_arrives_in_static_network(self):
+        net = make_net()
+        reply = self.walk_then_reply(net)
+        assert reply.success
+
+    def test_empty_path(self):
+        assert not send_reply(make_net(), []).success
+
+    def test_already_at_origin(self):
+        reply = send_reply(make_net(), [5])
+        assert reply.success and reply.messages == 0
+
+    def test_reduction_shortens_path(self):
+        net = make_net(seed=2)
+        walk = random_walk(net, 0, target_unique=20, rng=random.Random(3))
+        rpath = reverse_path_of(walk.path)
+        with_red = send_reply(net, rpath, reduction=True)
+        without = send_reply(net, rpath, reduction=False)
+        assert with_red.success and without.success
+        assert with_red.hops_taken <= without.hops_taken
+
+    def test_drop_without_repair_when_path_broken(self):
+        net = make_net(seed=2)
+        walk = random_walk(net, 0, target_unique=12, rng=random.Random(3))
+        rpath = reverse_path_of(walk.path)
+        # Kill every interior node: the reply cannot proceed.
+        for v in rpath[1:-1]:
+            net.fail_node(v)
+        reply = send_reply(net, rpath, reduction=False, local_repair=False)
+        if len(rpath) > 2 and not net.in_range(rpath[0], rpath[-1]):
+            assert not reply.success
+            assert reply.dropped_at == rpath[0]
+
+    def test_local_repair_rescues_single_dead_hop(self):
+        net = make_net(seed=4)
+        walk = random_walk(net, 0, target_unique=15, rng=random.Random(5))
+        rpath = reverse_path_of(walk.path)
+        if len(rpath) >= 4:
+            net.fail_node(rpath[1])  # kill the first reverse hop
+            reply = send_reply(net, rpath, reduction=False, local_repair=True)
+            assert reply.success
+            assert reply.local_repairs + reply.global_repairs >= 1
+
+    def test_global_repair_fallback(self):
+        net = make_net(seed=5)
+        walk = random_walk(net, 0, target_unique=15, rng=random.Random(6))
+        rpath = reverse_path_of(walk.path)
+        if len(rpath) >= 4:
+            for v in rpath[1:-1]:
+                net.fail_node(v)
+            reply = send_reply(net, rpath, local_repair=True,
+                               allow_global_repair=True)
+            # Either a scoped/global route exists or the network got too
+            # sparse; when it succeeds a repair must have been used.
+            if reply.success and not net.in_range(rpath[0], rpath[-1]):
+                assert reply.local_repairs + reply.global_repairs >= 1
+
+    def test_nodes_traversed_recorded(self):
+        net = make_net()
+        reply = self.walk_then_reply(net)
+        assert reply.nodes_traversed[0] != reply.nodes_traversed[-1]
+        assert reply.success

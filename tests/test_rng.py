@@ -1,0 +1,52 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.sim import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_sequence(self):
+        a = RngRegistry(7).stream("mobility")
+        b = RngRegistry(7).stream("mobility")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_give_different_streams(self):
+        reg = RngRegistry(7)
+        a = [reg.stream("a").random() for _ in range(5)]
+        b = [reg.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_give_different_streams(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(3)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_numpy_stream_deterministic(self):
+        a = RngRegistry(5).numpy_stream("w").random(3)
+        b = RngRegistry(5).numpy_stream("w").random(3)
+        assert list(a) == list(b)
+
+    def test_numpy_and_stdlib_streams_independent(self):
+        reg = RngRegistry(5)
+        reg.stream("x").random()
+        first = RngRegistry(5)
+        assert reg.numpy_stream("x").random() == first.numpy_stream("x").random()
+
+    def test_fork_changes_streams(self):
+        reg = RngRegistry(9)
+        child = reg.fork("run", 0)
+        assert reg.stream("x").random() != child.stream("x").random()
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(9).fork("run", 3).stream("x").random()
+        b = RngRegistry(9).fork("run", 3).stream("x").random()
+        assert a == b
+
+    def test_fork_offsets_differ(self):
+        reg = RngRegistry(9)
+        a = reg.fork("run", 1).stream("x").random()
+        b = reg.fork("run", 2).stream("x").random()
+        assert a != b

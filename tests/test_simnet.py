@@ -1,0 +1,295 @@
+"""Tests for the graph-level (protocol-model) network simulator."""
+
+import random
+
+import pytest
+
+from repro.simnet import NetworkConfig, SimNetwork, apply_churn
+
+
+def net_static(n=80, seed=0, **kw):
+    return SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed, **kw))
+
+
+def net_mobile(n=80, seed=0, max_speed=2.0, **kw):
+    return SimNetwork(NetworkConfig(n=n, avg_degree=10, seed=seed,
+                                    mobility="waypoint",
+                                    max_speed=max_speed, **kw))
+
+
+class TestDeployment:
+    def test_all_nodes_alive(self):
+        net = net_static()
+        assert net.n_alive == 80
+        assert net.alive_nodes() == list(range(80))
+
+    def test_connected_by_default(self):
+        assert net_static().is_connected()
+
+    def test_deterministic_given_seed(self):
+        a, b = net_static(seed=5), net_static(seed=5)
+        assert [a.position(i) for i in range(10)] == [
+            b.position(i) for i in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert net_static(seed=1).position(0) != net_static(seed=2).position(0)
+
+    def test_explicit_positions(self):
+        positions = [(float(i * 150), 0.0) for i in range(5)]
+        net = SimNetwork(NetworkConfig(n=5, avg_degree=10, seed=0,
+                                       require_connected=False),
+                         positions=positions)
+        assert net.position(0) == (0.0, 0.0)
+        assert net.true_neighbors(0) == [1]  # only 150m away
+
+    def test_invalid_mobility_model(self):
+        with pytest.raises(ValueError):
+            SimNetwork(NetworkConfig(n=5, mobility="teleport"))
+
+    def test_snapshot_graph_consistent(self):
+        net = net_static(n=50)
+        g = net.snapshot_graph()
+        assert g.n == 50
+        for u in range(50):
+            assert sorted(g.adjacency[u]) == sorted(net.true_neighbors(u))
+
+
+class TestNeighborTables:
+    def test_known_matches_true_initially(self):
+        net = net_static()
+        for node in (0, 10, 40):
+            assert sorted(net.known_neighbors(node)) == sorted(
+                net.true_neighbors(node))
+
+    def test_known_goes_stale_under_mobility(self):
+        net = net_mobile(max_speed=20.0, seed=3)
+        net.advance(9.0)  # just before the next heartbeat
+        stale = {v: set(net.known_neighbors(v)) for v in range(20)}
+        diffs = sum(
+            1 for v in range(20)
+            if stale[v] != set(net.true_neighbors(v)))
+        assert diffs > 0  # at 20 m/s, 9 s of movement breaks some links
+
+    def test_heartbeat_refreshes_tables(self):
+        def staleness(net):
+            return sum(
+                1 for v in range(20)
+                if set(net.known_neighbors(v)) != set(net.true_neighbors(v)))
+
+        just_refreshed = net_mobile(max_speed=20.0, seed=3)
+        just_refreshed.advance(10.5)  # shortly after the 10 s heartbeat
+        long_stale = net_mobile(max_speed=20.0, seed=3)
+        long_stale.advance(9.5)  # ~9.5 s since the initial snapshot
+        assert staleness(just_refreshed) < staleness(long_stale)
+
+    def test_static_network_tables_never_stale(self):
+        net = net_static()
+        net.advance(100.0)
+        for v in (0, 5, 9):
+            assert sorted(net.known_neighbors(v)) == sorted(
+                net.true_neighbors(v))
+
+
+class TestOneHopMessaging:
+    def test_unicast_to_neighbor_succeeds(self):
+        net = net_static()
+        v = net.true_neighbors(0)[0]
+        assert net.one_hop_unicast(0, v)
+
+    def test_unicast_out_of_range_fails(self):
+        net = net_static()
+        far = max(net.alive_nodes(),
+                  key=lambda u: net.distance(net.position(0), net.position(u)))
+        assert not net.one_hop_unicast(0, far)
+
+    def test_unicast_to_dead_node_fails(self):
+        net = net_static()
+        v = net.true_neighbors(0)[0]
+        net.fail_node(v)
+        assert not net.one_hop_unicast(0, v)
+
+    def test_unicast_counts_message_even_on_failure(self):
+        net = net_static()
+        before = net.counters["network"]
+        far = max(net.alive_nodes(),
+                  key=lambda u: net.distance(net.position(0), net.position(u)))
+        net.one_hop_unicast(0, far)
+        assert net.counters["network"] == before + 1
+
+    def test_unicast_advances_clock(self):
+        net = net_static()
+        t0 = net.now
+        v = net.true_neighbors(0)[0]
+        net.one_hop_unicast(0, v)
+        assert net.now == pytest.approx(t0 + net.config.hop_latency)
+
+    def test_broadcast_reaches_current_neighbors(self):
+        net = net_static()
+        receivers = net.one_hop_broadcast(0)
+        assert sorted(receivers) == sorted(net.true_neighbors(0))
+
+    def test_random_drop_probability(self):
+        net = net_static(drop_prob=1.0)
+        v = net.true_neighbors(0)[0]
+        assert not net.one_hop_unicast(0, v)
+        assert net.one_hop_broadcast(0) == []
+
+
+class TestRouting:
+    def test_route_between_any_pair(self):
+        net = net_static(seed=2)
+        result = net.route(0, 60)
+        assert result.success
+        assert result.path[0] == 0 and result.path[-1] == 60
+
+    def test_route_hops_counted_as_messages(self):
+        net = net_static(seed=2)
+        result = net.route(0, 60)
+        assert result.data_messages == result.hops
+
+    def test_first_route_pays_discovery(self):
+        net = net_static(seed=2)
+        result = net.route(0, 60)
+        assert result.routing_messages > 0
+
+    def test_cached_route_is_free_of_discovery(self):
+        net = net_static(seed=2)
+        net.route(0, 60)
+        again = net.route(0, 60)
+        assert again.success
+        assert again.routing_messages == 0
+
+    def test_route_to_self(self):
+        net = net_static()
+        result = net.route(5, 5)
+        assert result.success and result.hops == 0
+
+    def test_route_to_dead_node_fails(self):
+        net = net_static(seed=2)
+        net.fail_node(60)
+        result = net.route(0, 60)
+        assert not result.success
+
+    def test_invalidate_routes_forces_rediscovery(self):
+        net = net_static(seed=2)
+        net.route(0, 60)
+        net.invalidate_routes()
+        again = net.route(0, 60)
+        assert again.routing_messages > 0
+
+    def test_discover_path_does_not_send_data(self):
+        net = net_static(seed=2)
+        before = net.counters["network"]
+        path, cost = net.discover_path(0, 60)
+        assert path is not None and cost > 0
+        assert net.counters["network"] == before
+
+    def test_scoped_route_within_ttl(self):
+        net = net_static(seed=2)
+        v = net.true_neighbors(0)[0]
+        result = net.scoped_route(0, v, max_hops=3)
+        assert result.success
+
+    def test_scoped_route_fails_beyond_ttl(self):
+        net = net_static(seed=2)
+        # Find a node more than 3 hops away.
+        from collections import deque
+        dist = {0: 0}
+        q = deque([0])
+        while q:
+            u = q.popleft()
+            for w in net.true_neighbors(u):
+                if w not in dist:
+                    dist[w] = dist[u] + 1
+                    q.append(w)
+        far = [v for v, d in dist.items() if d > 3]
+        if far:
+            assert not net.scoped_route(0, far[0], max_hops=3).success
+
+
+class TestFlood:
+    def test_ttl1_covers_origin_and_neighbors(self):
+        net = net_static()
+        outcome = net.flood(0, ttl=1)
+        assert set(outcome.covered) == {0} | set(net.true_neighbors(0))
+        assert outcome.covered[0] == 0
+
+    def test_hop_counts_are_bfs_distances(self):
+        net = net_static()
+        outcome = net.flood(0, ttl=3)
+        for node, hop in outcome.covered.items():
+            assert 0 <= hop <= 3
+
+    def test_coverage_monotone_in_ttl(self):
+        net = net_static()
+        c1 = net.flood(0, ttl=1).coverage
+        c3 = net.flood(0, ttl=3).coverage
+        assert c3 >= c1
+
+    def test_reverse_path_walks_tree_to_origin(self):
+        net = net_static()
+        outcome = net.flood(0, ttl=3)
+        node = max(outcome.covered, key=outcome.covered.get)
+        path = outcome.reverse_path(node)
+        assert path[0] == node and path[-1] == 0
+        assert len(path) - 1 == outcome.covered[node]
+
+    def test_messages_equal_rebroadcasting_nodes(self):
+        net = net_static()
+        outcome = net.flood(0, ttl=2)
+        inner = sum(1 for hop in outcome.covered.values() if hop < 2)
+        assert outcome.messages == inner
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            net_static().flood(0, ttl=0)
+
+
+class TestChurnOperations:
+    def test_fail_node_removes_from_alive(self):
+        net = net_static()
+        net.fail_node(3)
+        assert not net.is_alive(3)
+        assert 3 not in net.alive_nodes()
+
+    def test_fail_node_idempotent(self):
+        net = net_static()
+        net.fail_node(3)
+        net.fail_node(3)
+        assert net.n_alive == 79
+
+    def test_failed_node_leaves_neighbor_ground_truth(self):
+        net = net_static()
+        v = net.true_neighbors(0)[0]
+        net.fail_node(v)
+        assert v not in net.true_neighbors(0)
+
+    def test_join_node_gets_fresh_id(self):
+        net = net_static()
+        new = net.join_node()
+        assert new == 80
+        assert net.is_alive(new)
+
+    def test_joiner_knows_neighbors_immediately(self):
+        net = net_static()
+        new = net.join_node(position=net.position(0))
+        assert sorted(net.known_neighbors(new)) == sorted(
+            net.true_neighbors(new))
+
+    def test_apply_churn_batch(self):
+        net = net_static(n=100, seed=4)
+        outcome = apply_churn(net, fail_fraction=0.2, join_fraction=0.1,
+                              rng=random.Random(0), keep_connected=True)
+        assert len(outcome.joined) == 10
+        assert net.is_connected()
+        assert net.n_alive == 100 - len(outcome.failed) + 10
+
+    def test_apply_churn_protected_nodes_survive(self):
+        net = net_static(n=60, seed=4)
+        apply_churn(net, fail_fraction=0.5, rng=random.Random(0),
+                    keep_connected=False, protected={0, 1})
+        assert net.is_alive(0) and net.is_alive(1)
+
+    def test_apply_churn_validates_fraction(self):
+        with pytest.raises(ValueError):
+            apply_churn(net_static(), fail_fraction=1.5)
