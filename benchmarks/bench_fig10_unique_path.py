@@ -7,7 +7,7 @@ reduction + self-inclusion); performance identical in static and
 walking-speed mobile networks.
 """
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.experiments import (
     ablation_early_halting,
@@ -23,7 +23,7 @@ def run_sweep():
     return unique_path_lookup(n=N_DEFAULT, lookup_factors=FACTORS,
                               mobility="waypoint", max_speed=2.0,
                               n_keys=N_KEYS, n_lookups=N_LOOKUPS,
-                              miss_fraction=0.2)
+                              miss_fraction=0.2, jobs=JOBS)
 
 
 def run_ablation():

@@ -5,7 +5,7 @@ the >= 0.9 regime requires a TTL step whose message cost grows
 disproportionately (coarse coverage granularity).
 """
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.experiments import flooding_lookup, format_table
 
@@ -14,7 +14,7 @@ TTLS = (1, 2, 3, 4, 5, 6) if FULL_SCALE else (1, 2, 3, 4)
 
 def run(mobility: str):
     return flooding_lookup(n=N_DEFAULT, ttls=TTLS, mobility=mobility,
-                           n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                           n_keys=N_KEYS, n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def test_fig11_flooding_lookup_static(benchmark, record):

@@ -7,7 +7,7 @@ that suffice whenever one side is RANDOM (the crossing-time price).
 
 import math
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.analysis import symmetric_quorum_size
 from repro.experiments import format_table, path_x_path
@@ -18,7 +18,7 @@ FRACTIONS = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3) if FULL_SCALE else \
 
 def run():
     return path_x_path(n=N_DEFAULT, size_fractions=FRACTIONS,
-                       n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                       n_keys=N_KEYS, n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def test_fig12_path_x_path(benchmark, record):

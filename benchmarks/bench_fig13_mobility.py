@@ -6,7 +6,7 @@ keeps the walks alive); the loss is reply messages dropped on the broken
 reverse path, and it worsens with speed.
 """
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.experiments import format_table, mobility_sweep
 
@@ -15,13 +15,13 @@ SPEEDS = (2.0, 5.0, 10.0, 20.0)
 
 def run():
     return mobility_sweep(n=N_DEFAULT, speeds=SPEEDS, local_repair=False,
-                          n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                          n_keys=N_KEYS, n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def run_no_salvation():
     return mobility_sweep(n=N_DEFAULT, speeds=(20.0,), local_repair=False,
                           salvation=False, n_keys=N_KEYS,
-                          n_lookups=N_LOOKUPS)
+                          n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def test_fig13_mobility_without_repair(benchmark, record):

@@ -8,7 +8,7 @@ batch churn with adjusted |Ql|, intersection degrades only slowly
 (0.95 -> ~0.87 at 50%).
 """
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.experiments import churn_sweep, format_table, mobility_sweep
 
@@ -18,23 +18,23 @@ CHURN = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
 def run_repair():
     return mobility_sweep(n=N_DEFAULT, speeds=SPEEDS, local_repair=True,
-                          n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                          n_keys=N_KEYS, n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def run_no_repair():
     return mobility_sweep(n=N_DEFAULT, speeds=(20.0,), local_repair=False,
-                          n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                          n_keys=N_KEYS, n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def run_bigger_advertise():
     return mobility_sweep(n=N_DEFAULT, speeds=(20.0,), local_repair=False,
                           advertise_factor=3.0, n_keys=N_KEYS,
-                          n_lookups=N_LOOKUPS)
+                          n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def run_churn():
     return churn_sweep(n=N_DEFAULT, fractions=CHURN, n_keys=N_KEYS,
-                       n_lookups=N_LOOKUPS)
+                       n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def test_fig14_reply_path_repair(benchmark, record):

@@ -5,7 +5,7 @@ membership view size 2*sqrt(n); routing adds a dramatic extra overhead;
 lookup hit ratio reaches ~0.9 around |Ql| = 1.15*sqrt(n).
 """
 
-from conftest import FULL_SCALE, N_KEYS, N_LOOKUPS, SIZES, record_result
+from conftest import FULL_SCALE, JOBS, N_KEYS, N_LOOKUPS, SIZES, record_result
 
 from repro.experiments import (
     format_table,
@@ -20,12 +20,13 @@ L_FACTORS = (0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0) if FULL_SCALE else \
 
 def run_advertise():
     return random_advertise_cost(sizes=SIZES, quorum_factors=Q_FACTORS,
-                                 n_keys=N_KEYS)
+                                 n_keys=N_KEYS, jobs=JOBS)
 
 
 def run_lookup():
     return random_lookup_hit_ratio(sizes=SIZES[-2:], lookup_factors=L_FACTORS,
-                                   n_keys=N_KEYS, n_lookups=N_LOOKUPS)
+                                   n_keys=N_KEYS, n_lookups=N_LOOKUPS,
+                                   jobs=JOBS)
 
 
 def test_fig8_random_advertise_cost(benchmark, record):

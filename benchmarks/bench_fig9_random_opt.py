@@ -5,7 +5,7 @@ en-route quorum is much larger than the initiation count; mobile networks
 cost more messages/routing for a slightly lower hit ratio.
 """
 
-from conftest import FULL_SCALE, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
+from conftest import FULL_SCALE, JOBS, N_DEFAULT, N_KEYS, N_LOOKUPS, record_result
 
 from repro.experiments import format_table, random_opt_lookup
 
@@ -15,7 +15,7 @@ INITIATIONS = (1, 2, 3, 4, 6, 8) if FULL_SCALE else (1, 2, 4, 6)
 def run(mobility: str):
     return random_opt_lookup(n=N_DEFAULT, initiations=INITIATIONS,
                              mobility=mobility, n_keys=N_KEYS,
-                             n_lookups=N_LOOKUPS)
+                             n_lookups=N_LOOKUPS, jobs=JOBS)
 
 
 def test_fig9_random_opt_static(benchmark, record):

@@ -5,14 +5,29 @@ the data series under ``benchmarks/results/`` so EXPERIMENTS.md can cite
 paper-vs-measured numbers.  Set ``REPRO_BENCH_FULL=1`` to run at the
 paper's full scale (n up to 800, more replications); the default scale
 completes the whole suite in a few minutes on a laptop.
+
+Two environment knobs select the performance configuration:
+
+* ``REPRO_NEIGHBOR_BACKEND`` — ``vectorized`` (default, numpy kernel) or
+  ``python`` (the reference path);
+* ``REPRO_BENCH_JOBS`` — process-pool workers for the parameter sweeps
+  (forwarded as ``jobs=`` to the experiment drivers).
+
+Every run also wall-clocks each bench and merges the timings into
+``BENCH_simnet.json`` at the repository root, keyed by backend and job
+count, so perf PRs can track the speedup trajectory over time.
 """
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_TIMINGS_PATH = REPO_ROOT / "BENCH_simnet.json"
 
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -23,6 +38,13 @@ N_DEFAULT = 800 if FULL_SCALE else 200
 #: Advertisements / lookups per scenario (paper: 100 / 1000).
 N_KEYS = 100 if FULL_SCALE else 12
 N_LOOKUPS = 1000 if FULL_SCALE else 60
+
+#: Parallel sweep workers for the experiment drivers.
+JOBS = max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def neighbor_backend() -> str:
+    return os.environ.get("REPRO_NEIGHBOR_BACKEND", "vectorized")
 
 
 def record_result(name: str, text: str) -> None:
@@ -35,3 +57,41 @@ def record_result(name: str, text: str) -> None:
 @pytest.fixture
 def record():
     return record_result
+
+
+# -- perf trajectory: wall-clock every bench into BENCH_simnet.json ----------
+
+_TIMINGS = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    _TIMINGS[item.nodeid.split("::")[-1]] = round(
+        time.perf_counter() - start, 3)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TIMINGS:
+        return
+    payload = {}
+    if BENCH_TIMINGS_PATH.exists():
+        try:
+            payload = json.loads(BENCH_TIMINGS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            payload = {}
+    run_key = f"{neighbor_backend()}-jobs{JOBS}" + (
+        "-full" if FULL_SCALE else "")
+    runs = payload.setdefault("runs", {})
+    run = runs.setdefault(run_key, {
+        "backend": neighbor_backend(),
+        "jobs": JOBS,
+        "n_default": N_DEFAULT,
+        "full_scale": FULL_SCALE,
+        "benches": {},
+    })
+    run["benches"].update(_TIMINGS)
+    run["total_seconds"] = round(sum(run["benches"].values()), 3)
+    BENCH_TIMINGS_PATH.write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")

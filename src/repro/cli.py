@@ -66,9 +66,10 @@ def _fig7(args) -> str:
 
 
 def _fig8(args) -> str:
-    adv = ex.random_advertise_cost(sizes=(args.n,), n_keys=args.keys)
+    adv = ex.random_advertise_cost(sizes=(args.n,), n_keys=args.keys,
+                                   jobs=args.jobs)
     look = ex.random_lookup_hit_ratio(sizes=(args.n,), n_keys=args.keys,
-                                      n_lookups=args.lookups)
+                                      n_lookups=args.lookups, jobs=args.jobs)
     out = "Figure 8(a,b) (RANDOM advertise cost)\n" + format_table(
         ["n", "|Qa|", "msgs", "routing"],
         [(p.n, p.quorum_size, p.avg_messages, p.avg_routing) for p in adv])
@@ -81,7 +82,8 @@ def _fig8(args) -> str:
 
 def _fig9(args) -> str:
     points = ex.random_opt_lookup(n=args.n, mobility=args.mobility,
-                                  n_keys=args.keys, n_lookups=args.lookups)
+                                  n_keys=args.keys, n_lookups=args.lookups,
+                                  jobs=args.jobs)
     return "Figure 9 (RANDOM-OPT lookup)\n" + format_table(
         ["n", "X", "hit", "msgs", "routing", "probed"],
         [(p.n, p.initiations, p.hit_ratio, p.avg_messages, p.avg_routing,
@@ -92,7 +94,8 @@ def _fig10(args) -> str:
     from repro.experiments.ascii_plot import render_series
 
     points = ex.unique_path_lookup(n=args.n, mobility=args.mobility,
-                                   n_keys=args.keys, n_lookups=args.lookups)
+                                   n_keys=args.keys, n_lookups=args.lookups,
+                                   jobs=args.jobs)
     table = format_table(
         ["n", "|Ql|", "factor", "hit", "msgs", "msgs(hit)", "msgs(miss)"],
         [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
@@ -106,7 +109,8 @@ def _fig10(args) -> str:
 
 def _fig11(args) -> str:
     points = ex.flooding_lookup(n=args.n, mobility=args.mobility,
-                                n_keys=args.keys, n_lookups=args.lookups)
+                                n_keys=args.keys, n_lookups=args.lookups,
+                                jobs=args.jobs)
     return "Figure 11 (FLOODING lookup)\n" + format_table(
         ["n", "ttl", "hit", "msgs", "coverage"],
         [(p.n, p.ttl, p.hit_ratio, p.avg_messages, p.avg_coverage)
@@ -115,7 +119,7 @@ def _fig11(args) -> str:
 
 def _fig12(args) -> str:
     points = ex.path_x_path(n=args.n, n_keys=args.keys,
-                            n_lookups=args.lookups)
+                            n_lookups=args.lookups, jobs=args.jobs)
     return "Figure 12 (UNIQUE-PATH x UNIQUE-PATH)\n" + format_table(
         ["n", "|Q|/side", "combined/n", "hit", "adv msgs", "lookup msgs"],
         [(p.n, p.quorum_size, p.combined_fraction, p.hit_ratio,
@@ -124,7 +128,8 @@ def _fig12(args) -> str:
 
 def _fig13(args) -> str:
     points = ex.mobility_sweep(n=args.n, local_repair=False,
-                               n_keys=args.keys, n_lookups=args.lookups)
+                               n_keys=args.keys, n_lookups=args.lookups,
+                               jobs=args.jobs)
     return "Figure 13 (fast mobility, no repair)\n" + format_table(
         ["speed", "hit", "intersection", "drops", "msgs"],
         [(p.max_speed, p.hit_ratio, p.intersection_ratio,
@@ -133,9 +138,10 @@ def _fig13(args) -> str:
 
 def _fig14(args) -> str:
     points = ex.mobility_sweep(n=args.n, local_repair=True,
-                               n_keys=args.keys, n_lookups=args.lookups)
+                               n_keys=args.keys, n_lookups=args.lookups,
+                               jobs=args.jobs)
     churn = ex.churn_sweep(n=args.n, n_keys=args.keys,
-                           n_lookups=args.lookups)
+                           n_lookups=args.lookups, jobs=args.jobs)
     out = "Figure 14(a-d) (reply-path repair)\n" + format_table(
         ["speed", "hit", "drops", "msgs", "routing"],
         [(p.max_speed, p.hit_ratio, p.reply_drop_ratio, p.avg_messages,
@@ -233,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of advertisements")
         p.add_argument("--lookups", type=int, default=60,
                        help="number of lookups")
+        p.add_argument("--jobs", type=int, default=None,
+                       help="parallel sweep workers (default: REPRO_JOBS "
+                            "env var, else 1)")
         p.add_argument("--walks", type=int, default=8,
                        help="walks per PCT point (fig4)")
         p.add_argument("--trials", type=int, default=400,

@@ -45,6 +45,12 @@ from repro.experiments.fig13_14_mobility import (
     mobility_sweep,
 )
 from repro.experiments.ascii_plot import render_series
+from repro.experiments.runner import (
+    SweepResult,
+    derive_task_seed,
+    merge_scenario_stats,
+    run_sweep,
+)
 from repro.experiments.workloads import (
     OperationMix,
     SizingRecommendation,
@@ -77,6 +83,7 @@ __all__ = [
     "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
     "render_summary", "summary_table",
     "render_series",
+    "SweepResult", "derive_task_seed", "merge_scenario_stats", "run_sweep",
     "OperationMix", "SizingRecommendation", "TauEstimator",
     "ZipfKeySampler", "generate_operation_mix",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, Optional, Tuple
 
 from repro.core.biquorum import ProbabilisticBiquorum
@@ -199,9 +200,21 @@ def run_scenario(
     return stats
 
 
-def sweep(values, fn) -> List[Tuple[object, ScenarioStats]]:
-    """Run ``fn(value) -> ScenarioStats`` over a parameter sweep."""
-    return [(v, fn(v)) for v in values]
+def _seedless(fn, value, seed):  # module-level for pool picklability
+    return fn(value)
+
+
+def sweep(values, fn, jobs: int = 1) -> List[Tuple[object, ScenarioStats]]:
+    """Run ``fn(value) -> ScenarioStats`` over a parameter sweep.
+
+    Dispatches through :func:`repro.experiments.runner.run_sweep`; with
+    ``jobs > 1`` the points run on a process pool (``fn`` must then be
+    picklable, i.e. defined at module level).
+    """
+    from repro.experiments.runner import run_sweep
+
+    results = run_sweep(values, partial(_seedless, fn), jobs=jobs)
+    return [(res.point, res.value) for res in results]
 
 
 def format_table(headers: List[str], rows: List[tuple]) -> str:

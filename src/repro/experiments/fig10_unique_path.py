@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import RandomStrategy, UniquePathStrategy
 from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.runner import run_sweep
 
 
 @dataclass
@@ -35,6 +37,36 @@ class UniquePathPoint:
     reply_reduction: bool
 
 
+def _unique_path_point(factor, task_seed, *, n: int, mobility: str,
+                       max_speed: float, advertise_factor: float,
+                       n_keys: int, n_lookups: int, miss_fraction: float,
+                       early_halting: bool, reply_reduction: bool,
+                       seed: int) -> UniquePathPoint:
+    """One lookup-factor sweep point (process-pool worker)."""
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
+    membership = make_membership(net, "random")
+    ql = max(1, int(round(factor * math.sqrt(n))))
+    stats = run_scenario(
+        net,
+        advertise_strategy=RandomStrategy(membership),
+        lookup_strategy=UniquePathStrategy(
+            early_halting=early_halting,
+            reply_reduction=reply_reduction),
+        advertise_size=qa, lookup_size=ql,
+        n_keys=n_keys, n_lookups=n_lookups,
+        miss_fraction=miss_fraction, seed=seed + 1,
+    )
+    return UniquePathPoint(
+        n=n, mobility=mobility, lookup_size=ql,
+        lookup_size_factor=factor,
+        hit_ratio=stats.hit_ratio,
+        avg_messages=stats.avg_lookup_messages,
+        avg_messages_on_hit=stats.avg_lookup_messages_on_hit,
+        avg_messages_on_miss=stats.avg_lookup_messages_on_miss,
+        early_halting=early_halting, reply_reduction=reply_reduction)
+
+
 def unique_path_lookup(
     n: int = 200,
     lookup_factors: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0),
@@ -47,34 +79,17 @@ def unique_path_lookup(
     early_halting: bool = True,
     reply_reduction: bool = True,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[UniquePathPoint]:
     """Hit ratio / message cost of UNIQUE-PATH lookup vs target size."""
-    points: List[UniquePathPoint] = []
-    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    for factor in lookup_factors:
-        net = make_network(n, mobility=mobility, max_speed=max_speed,
-                           seed=seed)
-        membership = make_membership(net, "random")
-        ql = max(1, int(round(factor * math.sqrt(n))))
-        stats = run_scenario(
-            net,
-            advertise_strategy=RandomStrategy(membership),
-            lookup_strategy=UniquePathStrategy(
-                early_halting=early_halting,
-                reply_reduction=reply_reduction),
-            advertise_size=qa, lookup_size=ql,
-            n_keys=n_keys, n_lookups=n_lookups,
-            miss_fraction=miss_fraction, seed=seed + 1,
-        )
-        points.append(UniquePathPoint(
-            n=n, mobility=mobility, lookup_size=ql,
-            lookup_size_factor=factor,
-            hit_ratio=stats.hit_ratio,
-            avg_messages=stats.avg_lookup_messages,
-            avg_messages_on_hit=stats.avg_lookup_messages_on_hit,
-            avg_messages_on_miss=stats.avg_lookup_messages_on_miss,
-            early_halting=early_halting, reply_reduction=reply_reduction))
-    return points
+    return run_sweep(
+        list(lookup_factors),
+        partial(_unique_path_point, n=n, mobility=mobility,
+                max_speed=max_speed, advertise_factor=advertise_factor,
+                n_keys=n_keys, n_lookups=n_lookups,
+                miss_fraction=miss_fraction, early_halting=early_halting,
+                reply_reduction=reply_reduction, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])
 
 
 def ablation_early_halting(

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import FloodingStrategy, RandomStrategy
 from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.runner import run_sweep
 
 
 @dataclass
@@ -28,6 +30,28 @@ class FloodingLookupPoint:
     avg_coverage: float
 
 
+def _flooding_point(ttl, task_seed, *, n: int, mobility: str,
+                    max_speed: float, advertise_factor: float, n_keys: int,
+                    n_lookups: int, seed: int) -> FloodingLookupPoint:
+    """One TTL sweep point (process-pool worker)."""
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
+    membership = make_membership(net, "random")
+    stats = run_scenario(
+        net,
+        advertise_strategy=RandomStrategy(membership),
+        lookup_strategy=FloodingStrategy(ttl=ttl),
+        advertise_size=qa, lookup_size=qa,  # size unused (fixed TTL)
+        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+    )
+    sizes = stats.lookup_quorum_sizes
+    return FloodingLookupPoint(
+        n=n, mobility=mobility, ttl=ttl,
+        hit_ratio=stats.hit_ratio,
+        avg_messages=stats.avg_lookup_messages,
+        avg_coverage=sum(sizes) / len(sizes) if sizes else 0.0)
+
+
 def flooding_lookup(
     n: int = 200,
     ttls: Sequence[int] = (1, 2, 3, 4, 5),
@@ -37,25 +61,12 @@ def flooding_lookup(
     n_keys: int = 10,
     n_lookups: int = 40,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[FloodingLookupPoint]:
     """Hit ratio / message cost of FLOODING lookup vs TTL."""
-    points: List[FloodingLookupPoint] = []
-    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    for ttl in ttls:
-        net = make_network(n, mobility=mobility, max_speed=max_speed,
-                           seed=seed)
-        membership = make_membership(net, "random")
-        stats = run_scenario(
-            net,
-            advertise_strategy=RandomStrategy(membership),
-            lookup_strategy=FloodingStrategy(ttl=ttl),
-            advertise_size=qa, lookup_size=qa,  # size unused (fixed TTL)
-            n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-        )
-        sizes = stats.lookup_quorum_sizes
-        points.append(FloodingLookupPoint(
-            n=n, mobility=mobility, ttl=ttl,
-            hit_ratio=stats.hit_ratio,
-            avg_messages=stats.avg_lookup_messages,
-            avg_coverage=sum(sizes) / len(sizes) if sizes else 0.0))
-    return points
+    return run_sweep(
+        list(ttls),
+        partial(_flooding_point, n=n, mobility=mobility, max_speed=max_speed,
+                advertise_factor=advertise_factor, n_keys=n_keys,
+                n_lookups=n_lookups, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])

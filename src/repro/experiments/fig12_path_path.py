@@ -10,10 +10,12 @@ RANDOM x UNIQUE-PATH mix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import UniquePathStrategy
 from repro.experiments.common import make_network, run_scenario
+from repro.experiments.runner import run_sweep
 
 
 @dataclass
@@ -29,6 +31,26 @@ class PathPathPoint:
     avg_lookup_messages: float
 
 
+def _path_path_point(frac, task_seed, *, n: int, n_keys: int, n_lookups: int,
+                     mobility: str, seed: int) -> PathPathPoint:
+    """One size-fraction sweep point (process-pool worker)."""
+    q = max(2, int(round(frac * n)))
+    net = make_network(n, mobility=mobility, seed=seed)
+    stats = run_scenario(
+        net,
+        advertise_strategy=UniquePathStrategy(),
+        lookup_strategy=UniquePathStrategy(),
+        advertise_size=q, lookup_size=q,
+        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+    )
+    return PathPathPoint(
+        n=n, quorum_size=q, combined_size=2 * q,
+        combined_fraction=2 * q / n,
+        hit_ratio=stats.hit_ratio,
+        avg_advertise_messages=stats.avg_advertise_messages,
+        avg_lookup_messages=stats.avg_lookup_messages)
+
+
 def path_x_path(
     n: int = 200,
     size_fractions: Sequence[float] = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3),
@@ -36,23 +58,11 @@ def path_x_path(
     n_lookups: int = 40,
     mobility: str = "static",
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[PathPathPoint]:
     """Hit ratio vs per-quorum size (as a fraction of n) for UP x UP."""
-    points: List[PathPathPoint] = []
-    for frac in size_fractions:
-        q = max(2, int(round(frac * n)))
-        net = make_network(n, mobility=mobility, seed=seed)
-        stats = run_scenario(
-            net,
-            advertise_strategy=UniquePathStrategy(),
-            lookup_strategy=UniquePathStrategy(),
-            advertise_size=q, lookup_size=q,
-            n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-        )
-        points.append(PathPathPoint(
-            n=n, quorum_size=q, combined_size=2 * q,
-            combined_fraction=2 * q / n,
-            hit_ratio=stats.hit_ratio,
-            avg_advertise_messages=stats.avg_advertise_messages,
-            avg_lookup_messages=stats.avg_lookup_messages))
-    return points
+    return run_sweep(
+        list(size_fractions),
+        partial(_path_path_point, n=n, n_keys=n_keys, n_lookups=n_lookups,
+                mobility=mobility, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])

@@ -17,10 +17,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import RandomStrategy, UniquePathStrategy
 from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.runner import run_sweep
 from repro.simnet.churn import apply_churn
 
 
@@ -39,6 +41,36 @@ class MobilityPoint:
     avg_routing: float
 
 
+def _mobility_point(speed, task_seed, *, n: int, local_repair: bool,
+                    advertise_factor: float, lookup_factor: float,
+                    n_keys: int, n_lookups: int, salvation: bool,
+                    hop_latency: float, seed: int) -> MobilityPoint:
+    """One max-speed sweep point (process-pool worker)."""
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    ql = max(1, int(round(lookup_factor * math.sqrt(n))))
+    net = make_network(n, mobility="waypoint", max_speed=speed, seed=seed,
+                       hop_latency=hop_latency)
+    membership = make_membership(net, "random")
+    stats = run_scenario(
+        net,
+        advertise_strategy=RandomStrategy(membership),
+        lookup_strategy=UniquePathStrategy(
+            salvation=salvation,
+            local_repair=local_repair,
+            allow_global_repair=local_repair),
+        advertise_size=qa, lookup_size=ql,
+        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+    )
+    return MobilityPoint(
+        n=n, max_speed=speed, local_repair=local_repair,
+        advertise_factor=advertise_factor,
+        hit_ratio=stats.hit_ratio,
+        intersection_ratio=stats.intersection_ratio,
+        reply_drop_ratio=stats.reply_drop_ratio,
+        avg_messages=stats.avg_lookup_messages,
+        avg_routing=stats.avg_lookup_routing)
+
+
 def mobility_sweep(
     n: int = 200,
     speeds: Sequence[float] = (2.0, 5.0, 10.0, 20.0),
@@ -50,6 +82,7 @@ def mobility_sweep(
     salvation: bool = True,
     hop_latency: float = 0.05,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[MobilityPoint]:
     """Hit ratio / intersection / reply drops vs maximum node speed.
 
@@ -57,32 +90,14 @@ def mobility_sweep(
     (~50 ms); it is what gives mobility time to break the reverse path
     while a long walk plus its reply are in flight.
     """
-    points: List[MobilityPoint] = []
-    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    ql = max(1, int(round(lookup_factor * math.sqrt(n))))
-    for speed in speeds:
-        net = make_network(n, mobility="waypoint", max_speed=speed, seed=seed,
-                           hop_latency=hop_latency)
-        membership = make_membership(net, "random")
-        stats = run_scenario(
-            net,
-            advertise_strategy=RandomStrategy(membership),
-            lookup_strategy=UniquePathStrategy(
-                salvation=salvation,
-                local_repair=local_repair,
-                allow_global_repair=local_repair),
-            advertise_size=qa, lookup_size=ql,
-            n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-        )
-        points.append(MobilityPoint(
-            n=n, max_speed=speed, local_repair=local_repair,
-            advertise_factor=advertise_factor,
-            hit_ratio=stats.hit_ratio,
-            intersection_ratio=stats.intersection_ratio,
-            reply_drop_ratio=stats.reply_drop_ratio,
-            avg_messages=stats.avg_lookup_messages,
-            avg_routing=stats.avg_lookup_routing))
-    return points
+    return run_sweep(
+        list(speeds),
+        partial(_mobility_point, n=n, local_repair=local_repair,
+                advertise_factor=advertise_factor,
+                lookup_factor=lookup_factor, n_keys=n_keys,
+                n_lookups=n_lookups, salvation=salvation,
+                hop_latency=hop_latency, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])
 
 
 @dataclass
@@ -95,6 +110,46 @@ class ChurnPoint:
     analytic_floor: float   # eps^(1-f) closed-form prediction
 
 
+def _churn_point(f, task_seed, *, n: int, avg_degree: float, epsilon: float,
+                 n_keys: int, n_lookups: int, seed: int) -> ChurnPoint:
+    """One churn-fraction sweep point (process-pool worker)."""
+    from repro.core.biquorum import ProbabilisticBiquorum
+    from repro.services.location import LocationService
+
+    q0 = max(1, int(math.ceil(math.sqrt(n * math.log(1.0 / epsilon)))))
+    net = make_network(n, avg_degree=avg_degree, seed=seed)
+    membership = make_membership(net, "random")
+    rng = random.Random(seed + 1)
+    biquorum = ProbabilisticBiquorum(
+        net,
+        advertise=RandomStrategy(membership),
+        lookup=UniquePathStrategy(),
+        advertise_size=q0, lookup_size=q0,
+        adjust_to_network_size=False,
+    )
+    service = LocationService(biquorum)
+    keys = [f"key-{i}" for i in range(n_keys)]
+    for key in keys:
+        service.advertise(net.random_alive_node(rng), key, key)
+
+    apply_churn(net, fail_fraction=f, join_fraction=f, rng=rng,
+                keep_connected=True)
+    membership.refresh()
+
+    # Adjust |Ql| to the post-churn network size (Section 6.1).
+    c = q0 / math.sqrt(n)
+    biquorum.set_sizes(
+        lookup_size=max(1, int(round(c * math.sqrt(net.n_alive)))))
+
+    hits = 0
+    for _ in range(n_lookups):
+        looker = net.random_alive_node(rng)
+        hits += bool(service.lookup(looker, rng.choice(keys)).found)
+    return ChurnPoint(
+        n=n, churn_fraction=f, hit_ratio=hits / n_lookups,
+        analytic_floor=1.0 - epsilon ** (1.0 - f))
+
+
 def churn_sweep(
     n: int = 200,
     avg_degree: float = 15.0,
@@ -103,44 +158,12 @@ def churn_sweep(
     n_keys: int = 10,
     n_lookups: int = 50,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ChurnPoint]:
     """Figure 14(f): advertise, churn (fail+join), then lookup with |Ql|
     adjusted to the new network size."""
-    from repro.core.biquorum import ProbabilisticBiquorum
-    from repro.services.location import LocationService
-
-    points: List[ChurnPoint] = []
-    q0 = max(1, int(math.ceil(math.sqrt(n * math.log(1.0 / epsilon)))))
-    for f in fractions:
-        net = make_network(n, avg_degree=avg_degree, seed=seed)
-        membership = make_membership(net, "random")
-        rng = random.Random(seed + 1)
-        biquorum = ProbabilisticBiquorum(
-            net,
-            advertise=RandomStrategy(membership),
-            lookup=UniquePathStrategy(),
-            advertise_size=q0, lookup_size=q0,
-            adjust_to_network_size=False,
-        )
-        service = LocationService(biquorum)
-        keys = [f"key-{i}" for i in range(n_keys)]
-        for key in keys:
-            service.advertise(net.random_alive_node(rng), key, key)
-
-        apply_churn(net, fail_fraction=f, join_fraction=f, rng=rng,
-                    keep_connected=True)
-        membership.refresh()
-
-        # Adjust |Ql| to the post-churn network size (Section 6.1).
-        c = q0 / math.sqrt(n)
-        biquorum.set_sizes(
-            lookup_size=max(1, int(round(c * math.sqrt(net.n_alive)))))
-
-        hits = 0
-        for i in range(n_lookups):
-            looker = net.random_alive_node(rng)
-            hits += bool(service.lookup(looker, rng.choice(keys)).found)
-        points.append(ChurnPoint(
-            n=n, churn_fraction=f, hit_ratio=hits / n_lookups,
-            analytic_floor=1.0 - epsilon ** (1.0 - f)))
-    return points
+    return run_sweep(
+        list(fractions),
+        partial(_churn_point, n=n, avg_degree=avg_degree, epsilon=epsilon,
+                n_keys=n_keys, n_lookups=n_lookups, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])

@@ -12,9 +12,9 @@ The paper's findings to reproduce:
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import RandomStrategy
 from repro.experiments.common import (
@@ -23,6 +23,7 @@ from repro.experiments.common import (
     make_network,
     run_scenario,
 )
+from repro.experiments.runner import run_sweep
 
 
 @dataclass
@@ -47,30 +48,58 @@ class RandomLookupPoint:
     avg_routing: float
 
 
+def _advertise_point(point, task_seed, *, n_keys: int, seed: int
+                     ) -> RandomAdvertisePoint:
+    """One (n, quorum factor) sweep point (process-pool worker)."""
+    n, factor = point
+    net = make_network(n, seed=seed)
+    membership = make_membership(net, "random")
+    strategy = RandomStrategy(membership)
+    qa = max(1, int(round(factor * math.sqrt(n))))
+    stats = run_scenario(
+        net, advertise_strategy=strategy, lookup_strategy=strategy,
+        advertise_size=qa, lookup_size=1, n_keys=n_keys, n_lookups=0,
+        seed=seed + 1,
+    )
+    return RandomAdvertisePoint(
+        n=n, quorum_size=qa,
+        avg_messages=stats.avg_advertise_messages,
+        avg_routing=stats.avg_advertise_routing)
+
+
 def random_advertise_cost(
     sizes: Sequence[int] = (50, 100, 200),
     quorum_factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5),
     n_keys: int = 10,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[RandomAdvertisePoint]:
     """Figure 8(a)/(b): messages per advertise vs |Q|, per network size."""
-    points: List[RandomAdvertisePoint] = []
-    for n in sizes:
-        for factor in quorum_factors:
-            net = make_network(n, seed=seed)
-            membership = make_membership(net, "random")
-            strategy = RandomStrategy(membership)
-            qa = max(1, int(round(factor * math.sqrt(n))))
-            stats = run_scenario(
-                net, advertise_strategy=strategy, lookup_strategy=strategy,
-                advertise_size=qa, lookup_size=1, n_keys=n_keys, n_lookups=0,
-                seed=seed + 1,
-            )
-            points.append(RandomAdvertisePoint(
-                n=n, quorum_size=qa,
-                avg_messages=stats.avg_advertise_messages,
-                avg_routing=stats.avg_advertise_routing))
-    return points
+    grid = [(n, factor) for n in sizes for factor in quorum_factors]
+    return run_sweep(
+        grid, partial(_advertise_point, n_keys=n_keys, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])
+
+
+def _lookup_point(point, task_seed, *, advertise_factor: float, n_keys: int,
+                  n_lookups: int, seed: int) -> RandomLookupPoint:
+    """One (n, lookup factor) sweep point (process-pool worker)."""
+    n, factor = point
+    net = make_network(n, seed=seed)
+    membership = make_membership(net, "random")
+    strategy = RandomStrategy(membership)
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    ql = max(1, int(round(factor * math.sqrt(n))))
+    stats = run_scenario(
+        net, advertise_strategy=strategy, lookup_strategy=strategy,
+        advertise_size=qa, lookup_size=ql,
+        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+    )
+    return RandomLookupPoint(
+        n=n, lookup_size=ql, lookup_size_factor=factor,
+        hit_ratio=stats.hit_ratio,
+        avg_messages=stats.avg_lookup_messages,
+        avg_routing=stats.avg_lookup_routing)
 
 
 def random_lookup_hit_ratio(
@@ -80,24 +109,12 @@ def random_lookup_hit_ratio(
     n_keys: int = 10,
     n_lookups: int = 60,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[RandomLookupPoint]:
     """Figure 8(c): RANDOM lookup hit ratio vs |Ql| (advertise 2*sqrt(n))."""
-    points: List[RandomLookupPoint] = []
-    for n in sizes:
-        for factor in lookup_factors:
-            net = make_network(n, seed=seed)
-            membership = make_membership(net, "random")
-            strategy = RandomStrategy(membership)
-            qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-            ql = max(1, int(round(factor * math.sqrt(n))))
-            stats = run_scenario(
-                net, advertise_strategy=strategy, lookup_strategy=strategy,
-                advertise_size=qa, lookup_size=ql,
-                n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-            )
-            points.append(RandomLookupPoint(
-                n=n, lookup_size=ql, lookup_size_factor=factor,
-                hit_ratio=stats.hit_ratio,
-                avg_messages=stats.avg_lookup_messages,
-                avg_routing=stats.avg_lookup_routing))
-    return points
+    grid = [(n, factor) for n in sizes for factor in lookup_factors]
+    return run_sweep(
+        grid,
+        partial(_lookup_point, advertise_factor=advertise_factor,
+                n_keys=n_keys, n_lookups=n_lookups, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])

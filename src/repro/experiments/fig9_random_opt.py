@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 from repro.core.strategies import RandomOptStrategy, RandomStrategy
 from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.runner import run_sweep
 
 
 @dataclass
@@ -30,6 +32,29 @@ class RandomOptPoint:
     avg_quorum_size: float       # en-route nodes actually probed
 
 
+def _random_opt_point(x, task_seed, *, n: int, mobility: str,
+                      max_speed: float, advertise_factor: float, n_keys: int,
+                      n_lookups: int, seed: int) -> RandomOptPoint:
+    """One initiation-count sweep point (process-pool worker)."""
+    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
+    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
+    membership = make_membership(net, "random")
+    stats = run_scenario(
+        net,
+        advertise_strategy=RandomStrategy(membership),
+        lookup_strategy=RandomOptStrategy(membership, initiations=x),
+        advertise_size=qa, lookup_size=qa,  # lookup size unused by OPT
+        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
+    )
+    sizes = stats.lookup_quorum_sizes
+    return RandomOptPoint(
+        n=n, mobility=mobility, initiations=x,
+        hit_ratio=stats.hit_ratio,
+        avg_messages=stats.avg_lookup_messages,
+        avg_routing=stats.avg_lookup_routing,
+        avg_quorum_size=sum(sizes) / len(sizes) if sizes else 0.0)
+
+
 def random_opt_lookup(
     n: int = 200,
     initiations: Sequence[int] = (1, 2, 3, 4, 6, 8),
@@ -39,26 +64,12 @@ def random_opt_lookup(
     n_keys: int = 10,
     n_lookups: int = 60,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[RandomOptPoint]:
     """Hit ratio / cost of RANDOM-OPT lookup vs the number of initiations."""
-    points: List[RandomOptPoint] = []
-    qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    for x in initiations:
-        net = make_network(n, mobility=mobility, max_speed=max_speed,
-                           seed=seed)
-        membership = make_membership(net, "random")
-        stats = run_scenario(
-            net,
-            advertise_strategy=RandomStrategy(membership),
-            lookup_strategy=RandomOptStrategy(membership, initiations=x),
-            advertise_size=qa, lookup_size=qa,  # lookup size unused by OPT
-            n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-        )
-        sizes = stats.lookup_quorum_sizes
-        points.append(RandomOptPoint(
-            n=n, mobility=mobility, initiations=x,
-            hit_ratio=stats.hit_ratio,
-            avg_messages=stats.avg_lookup_messages,
-            avg_routing=stats.avg_lookup_routing,
-            avg_quorum_size=sum(sizes) / len(sizes) if sizes else 0.0))
-    return points
+    return run_sweep(
+        list(initiations),
+        partial(_random_opt_point, n=n, mobility=mobility,
+                max_speed=max_speed, advertise_factor=advertise_factor,
+                n_keys=n_keys, n_lookups=n_lookups, seed=seed),
+        jobs=jobs, base_seed=seed, combine=lambda results: results[0])

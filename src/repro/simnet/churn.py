@@ -64,11 +64,7 @@ def apply_churn(
         if keep_connected and not net.is_connected():
             # Undo by re-joining the same node id is not possible (crash
             # semantics); instead re-admit it as itself via mobility state.
-            net._alive.add(victim)  # noqa: SLF001 - controlled rollback
-            net.mobility.add_node(victim, t=net.now,
-                                  position=net.position(victim)
-                                  if victim in net.mobility else None)
-            net._grid_time = float("-inf")  # noqa: SLF001
+            net.revive_node(victim)
             outcome.skipped_for_connectivity += 1
             continue
         outcome.failed.append(victim)
@@ -134,8 +130,7 @@ class ChurnProcess:
             victim = self.rng.choice(candidates)
             self.net.fail_node(victim)
             if self.keep_connected and not self.net.is_connected():
-                self.net._alive.add(victim)  # noqa: SLF001
-                self.net._grid_time = float("-inf")  # noqa: SLF001
+                self.net.revive_node(victim)
             else:
                 self.failures += 1
         self._schedule_failure()

@@ -21,13 +21,16 @@ small networks.
 
 from __future__ import annotations
 
+import bisect
 import math
+import os
 import random
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.geometry.grid import SpatialGrid
+from repro.geometry.kernel import NeighborKernel
 from repro.geometry.rgg import GeometricGraph
 from repro.geometry.space import Point, area_side_for_density
 from repro.mobility.models import (
@@ -39,6 +42,11 @@ from repro.mobility.models import (
 from repro.sim.kernel import PeriodicTimer, Simulator
 from repro.sim.rng import RngRegistry
 from repro.simnet.energy import EnergyLedger
+
+
+def _default_neighbor_backend() -> str:
+    """Backend choice, overridable per-process for CI/bench comparisons."""
+    return os.environ.get("REPRO_NEIGHBOR_BACKEND", "vectorized")
 
 
 @dataclass
@@ -59,6 +67,8 @@ class NetworkConfig:
     require_connected: bool = True
     drop_prob: float = 0.0  # extra random per-hop loss (interference proxy)
     grid_refresh: float = 1.0
+    #: "vectorized" (numpy batched kernel) or "python" (reference path).
+    neighbor_backend: str = field(default_factory=_default_neighbor_backend)
 
     @property
     def side(self) -> float:
@@ -94,10 +104,26 @@ class FloodOutcome:
         return len(self.covered)
 
     def reverse_path(self, node: int) -> List[int]:
-        """Path from ``node`` back to the flood origin along the tree."""
+        """Path from ``node`` back to the flood origin along the tree.
+
+        The parent chain of a valid flood tree has at most ``len(covered)``
+        hops; a longer walk means the chain is cyclic, and a missing parent
+        means it is broken — both raise :class:`ValueError` rather than
+        looping forever / leaking a ``KeyError``.
+        """
+        max_hops = max(len(self.covered), 1)
         path = [node]
         while path[-1] != self.origin:
-            path.append(self.parent[path[-1]])
+            if len(path) > max_hops:
+                raise ValueError(
+                    f"cyclic parent chain in flood tree at node {node} "
+                    f"(walked {len(path)} hops over {max_hops} covered nodes)")
+            try:
+                path.append(self.parent[path[-1]])
+            except KeyError:
+                raise ValueError(
+                    f"broken parent chain in flood tree: node {path[-1]} "
+                    f"has no parent entry (started from {node})") from None
         return path
 
 
@@ -127,12 +153,26 @@ class SimNetwork:
         else:
             raise ValueError(f"unknown mobility model {config.mobility!r}")
 
+        if config.neighbor_backend not in ("python", "vectorized"):
+            raise ValueError(
+                f"unknown neighbor backend {config.neighbor_backend!r}")
+
         self.mobility = MobilityManager(self._model)
         self._alive: Set[int] = set()
         self._next_id = 0
         self.counters: Counter = Counter()
+        # python backend: lazily (re)built spatial hash grid.
         self._grid: Optional[SpatialGrid] = None
         self._grid_time = -math.inf
+        # vectorized backend: contiguous-array kernel + full neighbor table,
+        # valid at `_tables_time` (forever for static networks).
+        self._kernel: Optional[NeighborKernel] = None
+        self._tables: Optional[Dict[int, List[int]]] = None
+        self._tables_time = -math.inf
+        # per-timestamp position cache: MobilityManager.position_at runs at
+        # most once per node per tick (static positions are cached forever).
+        self._pos_cache: Dict[int, Point] = {}
+        self._pos_cache_time = -math.inf
         self._known_neighbors: Dict[int, List[int]] = {}
         self._route_cache: Dict[Tuple[int, int], List[int]] = {}
         self._drop_rng = self.rngs.stream("drops")
@@ -162,7 +202,7 @@ class SimNetwork:
         self._next_id += 1
         self.mobility.add_node(node_id, t=self.sim.now, position=position)
         self._alive.add(node_id)
-        self._grid_time = -math.inf  # grid invalid
+        self._admit_to_geometry(node_id)
         return node_id
 
     def _ensure_connected(self, rng: random.Random, max_attempts: int = 60) -> None:
@@ -175,11 +215,61 @@ class SimNetwork:
                 pos = (rng.uniform(0, self.config.side),
                        rng.uniform(0, self.config.side))
                 self.mobility.add_node(node_id, t=self.sim.now, position=pos)
-            self._grid_time = -math.inf
+            self._invalidate_geometry()
         raise RuntimeError(
             f"could not obtain a connected deployment "
             f"(n={self.config.n}, d_avg={self.config.avg_degree})"
         )
+
+    # -- geometry caches -----------------------------------------------------
+
+    def _invalidate_geometry(self) -> None:
+        """Full invalidation: every position may have changed."""
+        self._grid = None
+        self._grid_time = -math.inf
+        self._kernel = None
+        self._tables = None
+        self._tables_time = -math.inf
+        self._pos_cache.clear()
+        self._pos_cache_time = self.sim.now
+
+    def _admit_to_geometry(self, node_id: int) -> None:
+        """Incrementally add a node to whichever indexes are live."""
+        self._pos_cache.pop(node_id, None)
+        if self._grid is None and self._kernel is None and self._tables is None:
+            return
+        pos = self.position(node_id)
+        if self._grid is not None:
+            self._grid.insert(node_id, pos)
+        if self._kernel is not None:
+            self._kernel.insert(node_id, pos)
+        if self._tables is not None:
+            if self._kernel is not None:
+                neighbors = self._kernel.neighbors_of(node_id)
+            else:
+                neighbors = sorted(
+                    v for v in self._alive
+                    if v != node_id
+                    and self.distance(pos, self.position(v))
+                    <= self.config.radio_range)
+            self._tables[node_id] = neighbors
+            for other in neighbors:
+                table = self._tables.get(other)
+                if table is not None and node_id not in table:
+                    bisect.insort(table, node_id)
+
+    def _evict_from_geometry(self, node_id: int) -> None:
+        """Incrementally drop a node — no full rebuild for one churn event."""
+        self._pos_cache.pop(node_id, None)
+        if self._grid is not None:
+            self._grid.remove(node_id)
+        if self._kernel is not None:
+            self._kernel.remove(node_id)
+        if self._tables is not None:
+            for other in self._tables.pop(node_id, ()):  # symmetric links
+                table = self._tables.get(other)
+                if table is not None and node_id in table:
+                    table.remove(node_id)
 
     # -- time ---------------------------------------------------------------
 
@@ -213,8 +303,17 @@ class SimNetwork:
         if node_id not in self._alive:
             return
         self._alive.discard(node_id)
-        self._grid_time = -math.inf
+        self._evict_from_geometry(node_id)
         self._known_neighbors.pop(node_id, None)
+
+    def revive_node(self, node_id: int) -> None:
+        """Undo a failure (connectivity-preserving churn rollback)."""
+        if node_id in self._alive:
+            return
+        if node_id not in self.mobility:
+            self.mobility.add_node(node_id, t=self.sim.now)
+        self._alive.add(node_id)
+        self._admit_to_geometry(node_id)
 
     def join_node(self, position: Optional[Point] = None) -> int:
         """A fresh node joins at a random (or given) position."""
@@ -230,7 +329,16 @@ class SimNetwork:
     # -- geometry --------------------------------------------------------------
 
     def position(self, node_id: int) -> Point:
-        return self.mobility.position_at(node_id, self.sim.now)
+        t = self.sim.now
+        if t != self._pos_cache_time:
+            if self.config.mobility != "static":
+                self._pos_cache.clear()
+            self._pos_cache_time = t
+        pos = self._pos_cache.get(node_id)
+        if pos is None:
+            pos = self.mobility.position_at(node_id, t)
+            self._pos_cache[node_id] = pos
+        return pos
 
     def distance(self, a: Point, b: Point) -> float:
         dx = abs(a[0] - b[0])
@@ -259,26 +367,63 @@ class SimNetwork:
             self._grid_time = self.sim.now
         return self._grid
 
+    def _neighbor_tables(self) -> Dict[int, List[int]]:
+        """Full ground-truth adjacency at ``sim.now`` (vectorized backend).
+
+        Static networks keep the table until churn touches it (then it is
+        patched incrementally); mobile networks recompute it in one batched
+        kernel pass the first time any node is queried at a new timestamp.
+        """
+        static = self.config.mobility == "static"
+        if self._tables is not None and (static
+                                         or self._tables_time == self.sim.now):
+            return self._tables
+        ids = sorted(self._alive)
+        if self._kernel is None or not static:
+            kernel = NeighborKernel(side=self.config.side,
+                                    radius=self.config.radio_range,
+                                    torus=self.config.torus)
+            kernel.rebuild(ids, [self.position(i) for i in ids])
+            self._kernel = kernel
+        self._tables = self._kernel.neighbor_tables()
+        self._tables_time = self.sim.now
+        return self._tables
+
     def true_neighbors(self, node_id: int) -> List[int]:
-        """Ground-truth current neighbors (alive, within range)."""
+        """Ground-truth current neighbors (alive, within range), sorted."""
+        if self.config.neighbor_backend == "vectorized":
+            neighbors = self._neighbor_tables().get(node_id)
+            if neighbors is None:
+                # Dead (or never-admitted) query node: its position is still
+                # tracked, so answer with a one-off kernel range query.
+                return self._kernel.within(self.position(node_id),
+                                           self.config.radio_range,
+                                           exclude=node_id)
+            return list(neighbors)
         grid = self._ensure_grid()
         pos = self.position(node_id)
         margin = 0.0
         if self.config.mobility == "waypoint":
             margin = 2 * self.config.max_speed * self.config.grid_refresh
         candidates = grid.within(pos, self.config.radio_range + margin)
-        return [
+        return sorted(
             other for other in candidates
             if other != node_id and other in self._alive
             and self.distance(pos, self.position(other)) <= self.config.radio_range
-        ]
+        )
 
     def known_neighbors(self, node_id: int) -> List[int]:
         """Last-heartbeat neighbor snapshot (stale under mobility)."""
         return list(self._known_neighbors.get(node_id, []))
 
     def _refresh_neighbor_tables(self) -> None:
-        self._grid_time = -math.inf
+        if self.config.neighbor_backend == "vectorized":
+            tables = self._neighbor_tables()
+            self._known_neighbors = {
+                node_id: list(tables.get(node_id, ()))
+                for node_id in self._alive
+            }
+            return
         self._known_neighbors = {
             node_id: self.true_neighbors(node_id) for node_id in self._alive
         }
@@ -306,11 +451,16 @@ class SimNetwork:
         alive = list(self._alive)
         if not alive:
             return True
+        if self.config.neighbor_backend == "vectorized":
+            tables = self._neighbor_tables()
+            neighbors = lambda u: tables.get(u, ())  # noqa: E731
+        else:
+            neighbors = self.true_neighbors
         seen = {alive[0]}
         queue = deque([alive[0]])
         while queue:
             u = queue.popleft()
-            for v in self.true_neighbors(u):
+            for v in neighbors(u):
                 if v not in seen:
                     seen.add(v)
                     queue.append(v)

@@ -1,0 +1,298 @@
+"""Equivalence and regression suite for the performance subsystem.
+
+The vectorized numpy kernel must be an *exact* drop-in for the pure-Python
+reference path: identical neighbor tables (not just statistically similar)
+on random deployments — static and waypoint, torus on and off, with churn —
+and the parallel sweep runner must be bit-identical to sequential runs.
+"""
+
+import copy
+import math
+
+import pytest
+
+from repro.experiments import merge_scenario_stats, run_sweep
+from repro.experiments.common import (
+    make_membership,
+    make_network,
+    run_scenario,
+)
+from repro.geometry.kernel import NeighborKernel
+from repro.simnet.churn import apply_churn
+from repro.simnet.network import FloodOutcome, NetworkConfig, SimNetwork
+
+
+def make_pair(**kw):
+    """The same deployment under both backends."""
+    base = dict(n=60, avg_degree=10, seed=3, require_connected=False)
+    base.update(kw)
+    py = SimNetwork(NetworkConfig(neighbor_backend="python", **base))
+    vec = SimNetwork(NetworkConfig(neighbor_backend="vectorized", **base))
+    return py, vec
+
+
+def tables_of(net):
+    return {v: net.true_neighbors(v) for v in net.alive_nodes()}
+
+
+class TestKernelPrimitive:
+    def brute(self, positions, side, r, torus):
+        out = {}
+        for i, a in positions.items():
+            nbrs = []
+            for j, b in positions.items():
+                if i == j:
+                    continue
+                dx, dy = abs(a[0] - b[0]), abs(a[1] - b[1])
+                if torus:
+                    dx, dy = min(dx, side - dx), min(dy, side - dy)
+                if math.hypot(dx, dy) <= r:
+                    nbrs.append(j)
+            out[i] = sorted(nbrs)
+        return out
+
+    @pytest.mark.parametrize("torus", [False, True])
+    @pytest.mark.parametrize("n,side,r", [(0, 100.0, 30.0), (1, 100.0, 30.0),
+                                          (50, 300.0, 75.0), (120, 500.0, 490.0)])
+    def test_matches_brute_force(self, n, side, r, torus):
+        import random
+        rng = random.Random(n * 7 + int(torus))
+        kernel = NeighborKernel(side, r, torus=torus)
+        positions = {}
+        for i in range(n):
+            positions[i] = (rng.uniform(0, side), rng.uniform(0, side))
+            kernel.insert(i, positions[i])
+        assert kernel.neighbor_tables() == self.brute(positions, side, r, torus)
+
+    def test_incremental_remove_insert(self):
+        import random
+        rng = random.Random(9)
+        side, r = 400.0, 90.0
+        kernel = NeighborKernel(side, r)
+        positions = {}
+        for i in range(80):
+            positions[i] = (rng.uniform(0, side), rng.uniform(0, side))
+            kernel.insert(i, positions[i])
+        for victim in (5, 17, 79, 0):
+            kernel.remove(victim)
+            del positions[victim]
+        for i in (200, 201):
+            positions[i] = (rng.uniform(0, side), rng.uniform(0, side))
+            kernel.insert(i, positions[i])
+        assert len(kernel) == len(positions)
+        assert kernel.neighbor_tables() == self.brute(positions, side, r, False)
+
+    def test_radius_guard(self):
+        kernel = NeighborKernel(1000.0, 100.0)
+        kernel.insert(0, (1.0, 1.0))
+        kernel.insert(1, (2.0, 2.0))
+        with pytest.raises(ValueError):
+            kernel.neighbor_tables(radius=500.0)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("torus", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_static_deployments(self, seed, torus):
+        py, vec = make_pair(seed=seed, torus=torus)
+        assert tables_of(py) == tables_of(vec)
+
+    @pytest.mark.parametrize("torus", [False, True])
+    def test_waypoint_over_time(self, torus):
+        py, vec = make_pair(mobility="waypoint", max_speed=15.0, seed=5,
+                            torus=torus)
+        for dt in (0.4, 3.0, 7.1, 12.0):
+            py.advance(dt)
+            vec.advance(dt)
+            assert tables_of(py) == tables_of(vec)
+            assert {v: py.known_neighbors(v) for v in py.alive_nodes()} == \
+                   {v: vec.known_neighbors(v) for v in vec.alive_nodes()}
+
+    def test_under_churn(self):
+        py, vec = make_pair(seed=7)
+        for victim in (3, 31, 55):
+            py.fail_node(victim)
+            vec.fail_node(victim)
+            assert tables_of(py) == tables_of(vec)
+        for _ in range(3):
+            a = py.join_node()
+            b = vec.join_node()
+            assert a == b
+            assert tables_of(py) == tables_of(vec)
+        # Dead node as the query origin: both answer from its last position.
+        assert py.true_neighbors(3) == vec.true_neighbors(3)
+
+    def test_waypoint_churn_mix(self):
+        py, vec = make_pair(mobility="waypoint", max_speed=10.0, seed=11)
+        py.advance(2.5)
+        vec.advance(2.5)
+        py.fail_node(10)
+        vec.fail_node(10)
+        assert tables_of(py) == tables_of(vec)
+        py.advance(4.0)
+        vec.advance(4.0)
+        py.join_node()
+        vec.join_node()
+        assert tables_of(py) == tables_of(vec)
+
+    def test_connectivity_and_snapshot_agree(self):
+        py, vec = make_pair(seed=2)
+        assert py.is_connected() == vec.is_connected()
+        gp, gv = py.snapshot_graph(), vec.snapshot_graph()
+        assert gp.positions == gv.positions
+        assert [sorted(a) for a in gp.adjacency] == \
+               [sorted(a) for a in gv.adjacency]
+
+    def test_apply_churn_same_outcome(self):
+        import random
+        py, vec = make_pair(seed=13, n=50)
+        out_py = apply_churn(py, fail_fraction=0.2, join_fraction=0.1,
+                             rng=random.Random(4), keep_connected=True)
+        out_vec = apply_churn(vec, fail_fraction=0.2, join_fraction=0.1,
+                              rng=random.Random(4), keep_connected=True)
+        assert out_py.failed == out_vec.failed
+        assert out_py.joined == out_vec.joined
+        assert tables_of(py) == tables_of(vec)
+
+    def test_full_scenario_identical_stats(self):
+        from repro.core.strategies import RandomStrategy
+
+        results = []
+        for backend in ("python", "vectorized"):
+            net = SimNetwork(NetworkConfig(n=80, avg_degree=10, seed=1,
+                                           neighbor_backend=backend))
+            membership = make_membership(net, "random")
+            strategy = RandomStrategy(membership)
+            results.append(run_scenario(
+                net, advertise_strategy=strategy, lookup_strategy=strategy,
+                advertise_size=12, lookup_size=10, n_keys=5, n_lookups=25,
+                seed=2))
+        assert results[0] == results[1]
+
+
+def _scenario_point(n, seed):
+    from repro.core.strategies import RandomStrategy
+
+    net = make_network(n, seed=seed % 1000)
+    membership = make_membership(net, "random")
+    strategy = RandomStrategy(membership)
+    return run_scenario(net, strategy, strategy, advertise_size=10,
+                        lookup_size=10, n_keys=4, n_lookups=12,
+                        seed=seed % 997)
+
+
+class TestSweepRunner:
+    def test_parallel_identical_to_sequential(self):
+        seq = run_sweep([50, 70], _scenario_point, replications=2, jobs=1,
+                        base_seed=5)
+        par = run_sweep([50, 70], _scenario_point, replications=2, jobs=3,
+                        base_seed=5)
+        assert [r.point for r in seq] == [r.point for r in par]
+        assert [r.results for r in seq] == [r.results for r in par]
+
+    def test_seed_derivation_is_positional(self):
+        from repro.experiments.runner import derive_task_seed
+
+        seeds = {derive_task_seed(0, i, r) for i in range(4) for r in range(4)}
+        assert len(seeds) == 16  # all distinct
+        assert derive_task_seed(0, 1, 2) == derive_task_seed(0, 1, 2)
+
+    def test_merge_weights_by_operations(self):
+        stats = run_sweep([60], _scenario_point, replications=3,
+                          base_seed=9)[0].results
+        merged = merge_scenario_stats(stats)
+        assert merged.lookups == sum(s.lookups for s in stats)
+        assert merged.hits == sum(s.hits for s in stats)
+        assert merged.hit_ratio == pytest.approx(
+            sum(s.hits for s in stats)
+            / sum(s.lookups_present for s in stats))
+        # Merging must not mutate its inputs.
+        again = merge_scenario_stats(stats)
+        assert again == merged
+
+    def test_single_stats_merge_is_identity(self):
+        stats = _scenario_point(50, 3)
+        assert merge_scenario_stats([copy.deepcopy(stats)]) == stats
+
+
+class TestReversePathGuard:
+    def test_valid_tree(self):
+        out = FloodOutcome(origin=0, ttl=2,
+                           covered={0: 0, 1: 1, 2: 2},
+                           parent={0: 0, 1: 0, 2: 1})
+        assert out.reverse_path(2) == [2, 1, 0]
+
+    def test_cycle_raises(self):
+        out = FloodOutcome(origin=0, ttl=2,
+                           covered={0: 0, 1: 1, 2: 2},
+                           parent={0: 0, 1: 2, 2: 1})
+        with pytest.raises(ValueError, match="cyclic"):
+            out.reverse_path(2)
+
+    def test_broken_chain_raises(self):
+        out = FloodOutcome(origin=0, ttl=2,
+                           covered={0: 0, 1: 1, 2: 2, 3: 3},
+                           parent={0: 0, 2: 3})
+        with pytest.raises(ValueError, match="broken"):
+            out.reverse_path(2)
+
+    def test_real_flood_paths_still_work(self):
+        net = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=4))
+        outcome = net.flood(0, ttl=3)
+        for node in outcome.covered:
+            path = outcome.reverse_path(node)
+            assert path[0] == node and path[-1] == 0
+            assert len(path) == outcome.covered[node] + 1
+
+
+class TestIncrementalChurn:
+    def test_static_python_backend_no_grid_rebuild(self):
+        net = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=6,
+                                       neighbor_backend="python"))
+        net.true_neighbors(0)
+        grid_before = net._grid
+        assert grid_before is not None
+        victim = net.alive_nodes()[-1]
+        net.fail_node(victim)
+        net.true_neighbors(0)
+        joined = net.join_node()
+        net.true_neighbors(joined)
+        assert net._grid is grid_before  # patched in place, never rebuilt
+        assert victim not in net._grid
+        assert joined in net._grid
+
+    def test_static_vectorized_no_table_rebuild(self, monkeypatch):
+        net = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=6,
+                                       neighbor_backend="vectorized"))
+        net.true_neighbors(0)
+        tables_before = net._tables
+        kernel_before = net._kernel
+        assert tables_before is not None
+
+        def boom(self, radius=None):  # a full pass would mean a rebuild
+            raise AssertionError("full neighbor_tables rebuild on churn")
+
+        monkeypatch.setattr(NeighborKernel, "neighbor_tables", boom)
+        victim = net.alive_nodes()[-1]
+        net.fail_node(victim)
+        assert net.true_neighbors(victim) is not None
+        joined = net.join_node()
+        assert net._tables is tables_before
+        assert net._kernel is kernel_before
+        assert victim not in net._tables
+        assert all(victim not in nbrs for nbrs in net._tables.values())
+        assert joined in net._tables
+        for other in net._tables[joined]:
+            assert joined in net._tables[other]
+
+    def test_churned_tables_match_fresh_network(self):
+        net = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=8,
+                                       neighbor_backend="vectorized"))
+        net.true_neighbors(0)  # build tables, then churn incrementally
+        for victim in (2, 11, 29):
+            net.fail_node(victim)
+        fresh = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=8,
+                                         neighbor_backend="python"))
+        for victim in (2, 11, 29):
+            fresh.fail_node(victim)
+        assert tables_of(net) == tables_of(fresh)
