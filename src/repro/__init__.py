@@ -55,6 +55,15 @@ from repro.membership import (
     NetworkSizeEstimator,
     RandomMembership,
 )
+from repro.obs import (
+    AccountingAuditor,
+    AuditError,
+    AuditViolation,
+    EventTrace,
+    MetricsRegistry,
+    TraceEvent,
+    audit_access,
+)
 from repro.services import (
     CheckedRegister,
     LocationService,
@@ -106,6 +115,14 @@ __all__ = [
     "NetworkConfig",
     "SimNetwork",
     "apply_churn",
+    # observability
+    "AccountingAuditor",
+    "AuditError",
+    "AuditViolation",
+    "EventTrace",
+    "MetricsRegistry",
+    "TraceEvent",
+    "audit_access",
     # services
     "CheckedRegister",
     "LocationService",

@@ -16,7 +16,6 @@
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 #: Empirical PCT constant at the paper's default density (d_avg = 10):
 #: ``PCT(sqrt(n)) ~ 1.7 sqrt(n)`` for all n <= 800 (Section 4.2).

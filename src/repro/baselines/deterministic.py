@@ -24,6 +24,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.core.strategies import AccessResult, AccessStrategy, ProbeFn, StoreFn
+from repro.obs.trace import record_event
 from repro.simnet.network import SimNetwork
 
 
@@ -56,12 +57,16 @@ def _contact_all(net: SimNetwork, origin: int, members: Sequence[int],
                     reply = net.route(member, origin)
                     result.messages += reply.data_messages
                     result.routing_messages += reply.routing_messages
+                    record_event(net, "reply", src=member, dst=origin,
+                                 success=reply.success, mechanism="routed")
                     if reply.success:
                         result.reply_delivered = True
                     elif result.reply_delivered is None:
                         result.reply_delivered = False
                 else:
                     result.reply_delivered = True
+                    record_event(net, "reply", src=origin, dst=origin,
+                                 success=True, mechanism="local")
     result.quorum = sorted(set(result.quorum))
     return reached
 
@@ -84,8 +89,8 @@ class MajorityStrategy(AccessStrategy):
         members = [origin] + pool
         return members[:needed]
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         members = self._members(net, origin)
@@ -95,8 +100,8 @@ class MajorityStrategy(AccessStrategy):
         result.success = reached >= len(members)
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
         members = self._members(net, origin)
@@ -167,8 +172,8 @@ class GridStrategy(AccessStrategy):
             return self.grid.row(self.grid.row_of(origin))
         return self.grid.column(self.grid.column_of(origin))
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         members = self._members(origin)
@@ -179,8 +184,8 @@ class GridStrategy(AccessStrategy):
         result.success = reached >= len(members)
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
         members = self._members(origin)

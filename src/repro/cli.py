@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List
 
@@ -71,12 +72,13 @@ def _fig8(args) -> str:
     look = ex.random_lookup_hit_ratio(sizes=(args.n,), n_keys=args.keys,
                                       n_lookups=args.lookups, jobs=args.jobs)
     out = "Figure 8(a,b) (RANDOM advertise cost)\n" + format_table(
-        ["n", "|Qa|", "msgs", "routing"],
-        [(p.n, p.quorum_size, p.avg_messages, p.avg_routing) for p in adv])
+        ["n", "|Qa|", "msgs", "routing", "latency"],
+        [(p.n, p.quorum_size, p.avg_messages, p.avg_routing, p.avg_latency)
+         for p in adv])
     out += "\n\nFigure 8(c) (RANDOM lookup hit ratio)\n" + format_table(
-        ["n", "|Ql|", "factor", "hit", "msgs"],
+        ["n", "|Ql|", "factor", "hit", "msgs", "latency"],
         [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
-          p.avg_messages) for p in look])
+          p.avg_messages, p.avg_latency) for p in look])
     return out
 
 
@@ -97,10 +99,11 @@ def _fig10(args) -> str:
                                    n_keys=args.keys, n_lookups=args.lookups,
                                    jobs=args.jobs)
     table = format_table(
-        ["n", "|Ql|", "factor", "hit", "msgs", "msgs(hit)", "msgs(miss)"],
+        ["n", "|Ql|", "factor", "hit", "msgs", "msgs(hit)", "msgs(miss)",
+         "latency"],
         [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
-          p.avg_messages, p.avg_messages_on_hit, p.avg_messages_on_miss)
-         for p in points])
+          p.avg_messages, p.avg_messages_on_hit, p.avg_messages_on_miss,
+          p.avg_latency) for p in points])
     chart = render_series(
         {"hit ratio": [(p.lookup_size_factor, p.hit_ratio) for p in points]},
         x_label="|Ql| / sqrt(n)", y_label="hit ratio")
@@ -250,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="initial epsilon (fig7)")
         p.add_argument("--mobility", choices=("static", "waypoint"),
                        default="static")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="stream simulation events as JSONL to PATH "
+                            "(with --jobs > 1, pool workers append to the "
+                            "same file, so events interleave)")
     return parser
 
 
@@ -271,7 +278,14 @@ def main(argv: List[str] = None) -> int:
         else:
             print(text)
         return 0
+    if getattr(args, "trace", None):
+        # Picked up by every SimNetwork built from here on — including
+        # the ones constructed inside sweep pool workers, which inherit
+        # the environment and append to the same line-buffered file.
+        os.environ["REPRO_TRACE"] = args.trace
     print(FIGURES[args.command](args))
+    if getattr(args, "trace", None):
+        print(f"\n[trace] events written to {args.trace}", file=sys.stderr)
     return 0
 
 

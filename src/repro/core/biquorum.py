@@ -181,6 +181,24 @@ class ProbabilisticBiquorum:
         self.accesses.append(result)
         return result
 
+    def _check_latency(self, result: AccessResult, elapsed: float) -> None:
+        """Cross-check the strategy's latency stamp against the elapsed
+        simulated time observed at the biquorum layer.
+
+        The strategy wrapper (``AccessStrategy._run_access``) owns the
+        stamp; this independent measurement feeds the auditor so a future
+        regression in the wrapper cannot silently report 0.0 again.
+        """
+        auditor = getattr(self.net, "auditor", None)
+        if auditor is None:
+            return
+        if abs(result.latency - elapsed) > 1e-9:
+            auditor.flag(
+                "latency-cross-check",
+                f"strategy stamped latency {result.latency!r} but the "
+                f"biquorum layer observed {elapsed!r}",
+                strategy=result.strategy, kind=result.kind)
+
     def write(self, origin: int, store_fn: StoreFn) -> AccessResult:
         """Access one advertise quorum, storing at every member."""
         if self.adjust_to_network_size:
@@ -188,7 +206,7 @@ class ProbabilisticBiquorum:
         started = self.net.now
         result = self.advertise_strategy.advertise(
             self.net, origin, store_fn, self.sizing.advertise_size)
-        result.latency = self.net.now - started
+        self._check_latency(result, self.net.now - started)
         return self._record(result)
 
     def read(self, origin: int, probe_fn: ProbeFn) -> AccessResult:
@@ -198,7 +216,7 @@ class ProbabilisticBiquorum:
         started = self.net.now
         result = self.lookup_strategy.lookup(
             self.net, origin, probe_fn, self.sizing.lookup_size)
-        result.latency = self.net.now - started
+        self._check_latency(result, self.net.now - started)
         return self._record(result)
 
     # -- quality metrics (Section 3) -------------------------------------

@@ -21,6 +21,7 @@ import random
 from typing import Optional
 
 from repro.core.strategies import AccessResult, AccessStrategy, ProbeFn, StoreFn
+from repro.obs.trace import record_event
 from repro.randomwalk.reply import send_reply
 from repro.simnet.network import SimNetwork
 
@@ -53,8 +54,8 @@ class GossipFloodStrategy(AccessStrategy):
             members = [rng.choice(list(covered))]
         return members
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         outcome = self._flood_everywhere(net, origin)
@@ -68,8 +69,8 @@ class GossipFloodStrategy(AccessStrategy):
             outcome.coverage >= 0.8 * net.n_alive)
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         """Flood the query; a uniform random subset of covered nodes probes
         and replies over the reverse flood tree."""
         result = AccessResult(strategy=self.name, kind="lookup",
@@ -90,6 +91,8 @@ class GossipFloodStrategy(AccessStrategy):
                 result.hit_value = value
             if node == origin:
                 delivered_any = True
+                record_event(net, "reply", src=origin, dst=origin,
+                             success=True, mechanism="local")
                 continue
             reply = send_reply(net, outcome.reverse_path(node),
                                reduction=True)

@@ -26,12 +26,53 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Set
 
 from repro.analysis.flooding import DEFAULT_KAPPA, ttl_for_coverage
+from repro.obs.trace import record_event
 from repro.randomwalk.reply import reverse_path_of, send_reply
 from repro.randomwalk.walker import max_degree_walk_sample, random_walk
 from repro.simnet.network import SimNetwork
 
 StoreFn = Callable[[int], None]
 ProbeFn = Callable[[int], Optional[Any]]
+
+
+def _live_trace(net: SimNetwork):
+    """The network's event trace, or None when absent/disabled."""
+    trace = getattr(net, "trace", None)
+    if trace is not None and trace.enabled:
+        return trace
+    return None
+
+
+def _traced_store(net: SimNetwork, trace, store_fn: StoreFn) -> StoreFn:
+    def wrapped(node: int) -> None:
+        store_fn(node)
+        trace.record("store", net.now, node=node)
+    return wrapped
+
+
+def _traced_probe(net: SimNetwork, trace, probe_fn: ProbeFn) -> ProbeFn:
+    def wrapped(node: int) -> Optional[Any]:
+        value = probe_fn(node)
+        trace.record("probe", net.now, node=node, hit=value is not None)
+        return value
+    return wrapped
+
+
+def _publish_access_metrics(net: SimNetwork, result: "AccessResult") -> None:
+    """Populate the uniform per-access metrics (see DESIGN.md)."""
+    metrics = getattr(net, "metrics", None)
+    if metrics is None:
+        return
+    prefix = f"access.{result.kind}"
+    metrics.counter(prefix + ".count").inc()
+    metrics.counter(prefix + ".messages").inc(result.messages)
+    metrics.counter(prefix + ".routing").inc(result.routing_messages)
+    if result.kind == "lookup" and result.found:
+        metrics.counter(prefix + ".hits").inc()
+        if result.reply_delivered is False:
+            metrics.counter(prefix + ".reply_drops").inc()
+    metrics.histogram(prefix + ".latency").observe(result.latency)
+    metrics.histogram(prefix + ".quorum_size").observe(result.quorum_size)
 
 
 @dataclass
@@ -62,7 +103,17 @@ class AccessResult:
 
 
 class AccessStrategy(ABC):
-    """Base class for quorum access strategies."""
+    """Base class for quorum access strategies.
+
+    ``advertise``/``lookup`` are template methods: they stamp
+    ``AccessResult.latency`` from the network clock at entry/exit (so
+    direct-strategy callers get real latencies, not just those routed
+    through :class:`~repro.core.biquorum.ProbabilisticBiquorum`), trace
+    the access boundaries plus store/probe events, publish the uniform
+    per-access metrics, and — when the network carries an accounting
+    auditor — cross-check the result against the traced event stream.
+    Subclasses implement ``_advertise``/``_lookup``.
+    """
 
     #: Strategy name (matches :mod:`repro.analysis.costs` constants).
     name: str = "?"
@@ -70,15 +121,54 @@ class AccessStrategy(ABC):
     #: strategy can serve as the RANDOM side of the mix-and-match lemma.
     uniform_random: bool = False
 
-    @abstractmethod
     def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
                   target_size: int) -> AccessResult:
         """Contact an advertise quorum, storing at each member."""
+        return self._run_access(net, "advertise", self._advertise,
+                                origin, store_fn, target_size)
 
-    @abstractmethod
     def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
                target_size: int) -> AccessResult:
         """Contact a lookup quorum, probing each member."""
+        return self._run_access(net, "lookup", self._lookup,
+                                origin, probe_fn, target_size)
+
+    def _run_access(self, net: SimNetwork, kind: str, impl: Callable,
+                    origin: int, callback: Callable,
+                    target_size: int) -> AccessResult:
+        trace = _live_trace(net)
+        mark = trace.mark() if trace is not None else None
+        started = net.now
+        if trace is not None:
+            trace.record("access-start", started, strategy=self.name,
+                         access=kind, origin=origin, target_size=target_size)
+            if kind == "advertise":
+                callback = _traced_store(net, trace, callback)
+            else:
+                callback = _traced_probe(net, trace, callback)
+        result = impl(net, origin, callback, target_size)
+        result.latency = net.now - started
+        if trace is not None:
+            trace.record("access-end", net.now, strategy=self.name,
+                         access=kind, origin=origin,
+                         messages=result.messages,
+                         routing=result.routing_messages,
+                         success=result.success)
+        _publish_access_metrics(net, result)
+        auditor = getattr(net, "auditor", None)
+        if auditor is not None and mark is not None:
+            auditor.check(result, trace.events_since(mark))
+        return result
+
+    @abstractmethod
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
+        """Strategy-specific advertise implementation."""
+
+    @abstractmethod
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
+        """Strategy-specific lookup implementation."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -126,8 +216,24 @@ class RandomStrategy(AccessStrategy):
         result.routing_messages += route.routing_messages
         return route.success
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _replacement(self, origin: int, reached: Set[int],
+                     rng: random.Random, draws: int = 4) -> Optional[int]:
+        """Draw an adaptation replacement target (Section 6.2).
+
+        Already-reached nodes are excluded at sampling time: a duplicate
+        draw costs no transmission, so it must not burn a retry attempt
+        — the retry budget counts actual adaptation transmissions.
+        """
+        for _ in range(draws):
+            replacements = self.membership.sample_for(origin, 1, rng)
+            if not replacements:
+                return None
+            if replacements[0] not in reached:
+                return replacements[0]
+        return None
+
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         reached: Set[int] = set()
@@ -135,26 +241,26 @@ class RandomStrategy(AccessStrategy):
         rng = self._rng(net)
         for target in targets:
             attempts = 0
-            current = target
-            while attempts <= self.adaptation_retries:
-                if current not in reached and self._reach(net, origin, current,
-                                                          result):
+            current: Optional[int] = target
+            while current is not None and attempts <= self.adaptation_retries:
+                if current in reached:
+                    # Duplicate target: nothing was sent, swap it out
+                    # without consuming the retry budget.
+                    current = self._replacement(origin, reached, rng)
+                    continue
+                if self._reach(net, origin, current, result):
                     reached.add(current)
                     store_fn(current)
                     break
                 attempts += 1
-                replacements = self.membership.sample_for(origin, 1, rng)
-                candidates = [r for r in replacements if r not in reached]
-                if not candidates:
-                    break
-                current = candidates[0]
+                current = self._replacement(origin, reached, rng)
         result.quorum = sorted(reached)
         result.success = len(reached) >= min(target_size,
                                              max(1, net.n_alive - 1))
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
         reached: Set[int] = set()
@@ -162,11 +268,12 @@ class RandomStrategy(AccessStrategy):
         rng = self._rng(net)
         for target in targets:
             attempts = 0
-            current = target
-            while attempts <= self.adaptation_retries:
+            current: Optional[int] = target
+            while current is not None and attempts <= self.adaptation_retries:
                 if current in reached:
-                    pass
-                elif self._reach(net, origin, current, result):
+                    current = self._replacement(origin, reached, rng)
+                    continue
+                if self._reach(net, origin, current, result):
                     reached.add(current)
                     value = probe_fn(current)
                     if value is not None:
@@ -178,17 +285,16 @@ class RandomStrategy(AccessStrategy):
                         reply = net.route(current, origin)
                         result.messages += reply.data_messages
                         result.routing_messages += reply.routing_messages
+                        record_event(net, "reply", src=current, dst=origin,
+                                     success=reply.success,
+                                     mechanism="routed")
                         if reply.success:
                             result.reply_delivered = True
                         elif result.reply_delivered is None:
                             result.reply_delivered = False
                     break
                 attempts += 1
-                replacements = self.membership.sample_for(origin, 1, rng)
-                candidates = [r for r in replacements if r not in reached]
-                if not candidates:
-                    break
-                current = candidates[0]
+                current = self._replacement(origin, reached, rng)
             if (self.serial_lookup and result.found
                     and result.reply_delivered):
                 break
@@ -248,8 +354,8 @@ class RandomSamplingStrategy(AccessStrategy):
                 break
         result.quorum = sorted(members)
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
 
@@ -262,8 +368,8 @@ class RandomSamplingStrategy(AccessStrategy):
                                                    max(1, net.n_alive - 1))
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
 
@@ -272,12 +378,19 @@ class RandomSamplingStrategy(AccessStrategy):
             if value is None:
                 return False
             result.found = True
-            result.hit_node = node
-            result.hit_value = value
+            if result.hit_node is None:
+                # Keep the first hit: a later hit whose reply fails must
+                # not clobber a datum the originator already received
+                # (same semantics as RandomStrategy).
+                result.hit_node = node
+                result.hit_value = value
             reply = send_reply(net, reverse_path_of(path), reduction=True)
             result.messages += reply.messages
             result.routing_messages += reply.routing_messages
-            result.reply_delivered = reply.success
+            if reply.success:
+                result.reply_delivered = True
+            elif result.reply_delivered is None:
+                result.reply_delivered = False
             return False  # paper's parallel semantics: no early halt
 
         self._collect(net, origin, target_size, result, on_member)
@@ -332,8 +445,8 @@ class PathStrategy(AccessStrategy):
     def _rng(self, net: SimNetwork) -> random.Random:
         return self.rng or net.rngs.stream("path-strategy")
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         walk = random_walk(net, origin, target_unique=target_size,
@@ -344,8 +457,8 @@ class PathStrategy(AccessStrategy):
         result.success = walk.completed
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
 
@@ -364,6 +477,8 @@ class PathStrategy(AccessStrategy):
                     value = probe_fn(neighbor)
                     if value is not None:
                         result.messages += 1  # neighbor -> current node
+                        record_event(net, "virtual-msg", reason="overhear",
+                                     src=neighbor, dst=node)
                         result.found = True
                         result.overheard = True
                         result.hit_node = node  # reply continues from here
@@ -381,6 +496,8 @@ class PathStrategy(AccessStrategy):
             assert hit is not None
             if hit == origin:
                 result.reply_delivered = True
+                record_event(net, "reply", src=origin, dst=origin,
+                             success=True, mechanism="local")
             else:
                 # Reply travels the reverse walk path (no routing).
                 cut = walk.path.index(hit) if hit in walk.path else len(walk.path) - 1
@@ -461,18 +578,26 @@ class FloodingStrategy(AccessStrategy):
         ttl = 1
         outcome = net.flood(origin, ttl)
         result.messages += outcome.messages
-        if self.count_acks:
-            result.messages += max(0, outcome.coverage - 1)
+        self._count_acks(net, result, outcome)
         while outcome.coverage < min(target_size, net.n_alive) and ttl < 64:
             ttl += 1
             outcome = net.flood(origin, ttl)
             result.messages += outcome.messages
-            if self.count_acks:
-                result.messages += max(0, outcome.coverage - 1)
+            self._count_acks(net, result, outcome)
         return outcome
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _count_acks(self, net: SimNetwork, result: AccessResult,
+                    outcome) -> None:
+        """Charge the per-covered-node ack messages (modeled, not sent)."""
+        if not self.count_acks:
+            return
+        acks = max(0, outcome.coverage - 1)
+        if acks:
+            result.messages += acks
+            record_event(net, "virtual-msg", reason="flood-ack", count=acks)
+
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         outcome = self._flood_to_target(net, origin, target_size, result)
@@ -482,8 +607,8 @@ class FloodingStrategy(AccessStrategy):
         result.success = outcome.coverage >= min(target_size, net.n_alive)
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="lookup",
                               target_size=target_size)
         outcome = self._flood_to_target(net, origin, target_size, result)
@@ -501,6 +626,8 @@ class FloodingStrategy(AccessStrategy):
             # (FLOODING sends multiple redundant replies, Section 4.4).
             if node == origin:
                 delivered_any = True
+                record_event(net, "reply", src=origin, dst=origin,
+                             success=True, mechanism="local")
                 continue
             reply = send_reply(net, outcome.reverse_path(node),
                                reduction=True)
@@ -550,8 +677,8 @@ class RandomOptStrategy(AccessStrategy):
         """The paper's finding: ~ln(n) initiations give 0.9 intersection."""
         return max(1, int(round(math.log(max(2, net.n_alive)))))
 
-    def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
-                  target_size: int) -> AccessResult:
+    def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
+                   target_size: int) -> AccessResult:
         result = AccessResult(strategy=self.name, kind="advertise",
                               target_size=target_size)
         rng = self._rng(net)
@@ -586,8 +713,8 @@ class RandomOptStrategy(AccessStrategy):
         result.success = len(stored) >= min(target_size, net.n_alive)
         return result
 
-    def lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
-               target_size: int) -> AccessResult:
+    def _lookup(self, net: SimNetwork, origin: int, probe_fn: ProbeFn,
+                target_size: int) -> AccessResult:
         """Send ``initiations`` lookup messages to random targets; every
         en-route node performs a local lookup and a hit halts forwarding."""
         result = AccessResult(strategy=self.name, kind="lookup",
@@ -609,6 +736,8 @@ class RandomOptStrategy(AccessStrategy):
             result.hit_node = origin
             result.hit_value = value
             result.reply_delivered = True
+            record_event(net, "reply", src=origin, dst=origin,
+                         success=True, mechanism="local")
 
         delivered_any = bool(result.found)
         for _ in range(initiations):
@@ -635,6 +764,8 @@ class RandomOptStrategy(AccessStrategy):
                     reply = net.route(b, origin)
                     result.messages += reply.data_messages
                     result.routing_messages += reply.routing_messages
+                    record_event(net, "reply", src=b, dst=origin,
+                                 success=reply.success, mechanism="routed")
                     delivered_any = delivered_any or reply.success
                     break
         result.quorum = sorted(probed)

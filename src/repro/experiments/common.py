@@ -40,6 +40,8 @@ class ScenarioStats:
     advertise_routing: int = 0
     lookup_messages_total: int = 0
     lookup_routing_total: int = 0
+    advertise_latency_total: float = 0.0  # simulated seconds
+    lookup_latency_total: float = 0.0
     lookup_messages_hit: List[int] = field(default_factory=list)
     lookup_messages_miss: List[int] = field(default_factory=list)
     advertise_quorum_sizes: List[int] = field(default_factory=list)
@@ -85,6 +87,16 @@ class ScenarioStats:
     @property
     def avg_lookup_routing(self) -> float:
         return (self.lookup_routing_total / self.lookups
+                if self.lookups else 0.0)
+
+    @property
+    def avg_advertise_latency(self) -> float:
+        return (self.advertise_latency_total / self.advertises
+                if self.advertises else 0.0)
+
+    @property
+    def avg_lookup_latency(self) -> float:
+        return (self.lookup_latency_total / self.lookups
                 if self.lookups else 0.0)
 
     @property
@@ -163,6 +175,7 @@ def run_scenario(
         stats.advertises += 1
         stats.advertise_messages += receipt.access.messages
         stats.advertise_routing += receipt.access.routing_messages
+        stats.advertise_latency_total += receipt.access.latency
         stats.advertise_quorum_sizes.append(receipt.access.quorum_size)
 
     # Part 2: lookups by a fixed pool of random nodes.
@@ -187,6 +200,7 @@ def run_scenario(
             continue
         stats.lookup_messages_total += access.messages
         stats.lookup_routing_total += access.routing_messages
+        stats.lookup_latency_total += access.latency
         stats.lookup_quorum_sizes.append(access.quorum_size)
         if access.found:
             stats.intersections += 1

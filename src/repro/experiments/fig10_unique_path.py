@@ -35,6 +35,7 @@ class UniquePathPoint:
     avg_messages_on_miss: float
     early_halting: bool
     reply_reduction: bool
+    avg_latency: float = 0.0    # simulated seconds per lookup
 
 
 def _unique_path_point(factor, task_seed, *, n: int, mobility: str,
@@ -64,7 +65,8 @@ def _unique_path_point(factor, task_seed, *, n: int, mobility: str,
         avg_messages=stats.avg_lookup_messages,
         avg_messages_on_hit=stats.avg_lookup_messages_on_hit,
         avg_messages_on_miss=stats.avg_lookup_messages_on_miss,
-        early_halting=early_halting, reply_reduction=reply_reduction)
+        early_halting=early_halting, reply_reduction=reply_reduction,
+        avg_latency=stats.avg_lookup_latency)
 
 
 def unique_path_lookup(

@@ -18,7 +18,6 @@ from typing import List, Optional, Sequence
 
 from repro.core.strategies import RandomStrategy
 from repro.experiments.common import (
-    ScenarioStats,
     make_membership,
     make_network,
     run_scenario,
@@ -34,6 +33,7 @@ class RandomAdvertisePoint:
     quorum_size: int
     avg_messages: float
     avg_routing: float
+    avg_latency: float = 0.0    # simulated seconds per advertise
 
 
 @dataclass
@@ -46,6 +46,7 @@ class RandomLookupPoint:
     hit_ratio: float
     avg_messages: float
     avg_routing: float
+    avg_latency: float = 0.0    # simulated seconds per lookup
 
 
 def _advertise_point(point, task_seed, *, n_keys: int, seed: int
@@ -64,7 +65,8 @@ def _advertise_point(point, task_seed, *, n_keys: int, seed: int
     return RandomAdvertisePoint(
         n=n, quorum_size=qa,
         avg_messages=stats.avg_advertise_messages,
-        avg_routing=stats.avg_advertise_routing)
+        avg_routing=stats.avg_advertise_routing,
+        avg_latency=stats.avg_advertise_latency)
 
 
 def random_advertise_cost(
@@ -99,7 +101,8 @@ def _lookup_point(point, task_seed, *, advertise_factor: float, n_keys: int,
         n=n, lookup_size=ql, lookup_size_factor=factor,
         hit_ratio=stats.hit_ratio,
         avg_messages=stats.avg_lookup_messages,
-        avg_routing=stats.avg_lookup_routing)
+        avg_routing=stats.avg_lookup_routing,
+        avg_latency=stats.avg_lookup_latency)
 
 
 def random_lookup_hit_ratio(

@@ -1,0 +1,41 @@
+"""Observability layer: event tracing, metrics, accounting audit.
+
+See DESIGN.md (Observability layer) for the event schema, the metric
+name catalogue, and the audit invariants.
+"""
+
+from repro.obs.audit import (
+    AccountingAuditor,
+    AuditError,
+    AuditViolation,
+    audit_access,
+    auditor_from_env,
+    own_events,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    MESSAGE_KINDS,
+    ROUTING_KINDS,
+    EventTrace,
+    TraceEvent,
+    TraceTruncated,
+    record_event,
+)
+
+__all__ = [
+    "AccountingAuditor",
+    "AuditError",
+    "AuditViolation",
+    "Counter",
+    "EventTrace",
+    "Histogram",
+    "MESSAGE_KINDS",
+    "MetricsRegistry",
+    "ROUTING_KINDS",
+    "TraceEvent",
+    "TraceTruncated",
+    "audit_access",
+    "auditor_from_env",
+    "own_events",
+    "record_event",
+]

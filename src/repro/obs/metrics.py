@@ -1,0 +1,140 @@
+"""Uniform counters and histograms for experiments and benchmarks.
+
+Every :class:`~repro.simnet.network.SimNetwork` owns a
+:class:`MetricsRegistry`; the simulator core and the access strategies
+populate a fixed, documented set of metric names (see DESIGN.md,
+Observability layer) so figure drivers and benchmarks can report audited
+numbers instead of re-deriving them ad hoc:
+
+* ``net.unicasts`` / ``net.broadcasts`` / ``net.unicast_failures`` /
+  ``net.routing`` — transmission-level counters;
+* ``access.<kind>.count|messages|routing|hits|reply_drops`` — per-access
+  counters, ``<kind>`` in ``advertise``/``lookup``;
+* ``access.<kind>.latency|quorum_size`` — per-access histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A value distribution with summary statistics.
+
+    Raw observations are retained (simulation scale makes this cheap),
+    so exact quantiles are available.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(math.ceil(q / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Histogram({self.name}: n={self.count}, "
+                f"mean={self.mean:.4g})")
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a stable snapshot format."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, Union[int, Dict[str, float]]]:
+        """Flat dict: counters as ints, histograms as summary dicts."""
+        out: Dict[str, Union[int, Dict[str, float]]] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            out[name] = {
+                "count": h.count, "sum": h.sum, "mean": h.mean,
+                "min": h.min, "max": h.max,
+                "p50": h.percentile(50), "p99": h.percentile(99),
+            }
+        return out
+
+    def render(self) -> str:
+        """Aligned ASCII table of the snapshot (for reports/CLI)."""
+        lines = []
+        snap = self.snapshot()
+        width = max((len(n) for n in snap), default=0)
+        for name, value in snap.items():
+            if isinstance(value, dict):
+                detail = (f"n={value['count']} mean={value['mean']:.4g} "
+                          f"p50={value['p50']:.4g} p99={value['p99']:.4g} "
+                          f"max={value['max']:.4g}")
+            else:
+                detail = str(value)
+            lines.append(f"{name.ljust(width)}  {detail}")
+        return "\n".join(lines)

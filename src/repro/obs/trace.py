@@ -1,0 +1,163 @@
+"""Structured event tracing for the simulation core.
+
+The trace is the observability ground truth: every network-level action
+(hop, broadcast, routing discovery, walk step, reply, store, probe,
+churn, access boundaries) is recorded as one typed :class:`TraceEvent`
+with its simulated timestamp.  The accounting auditor
+(:mod:`repro.obs.audit`) replays these events to cross-check the
+``AccessResult`` cost fields every strategy reports, and the ``--trace``
+CLI flag streams them to a JSONL file for offline analysis — the
+structured-event-log practice of ns-3 trace sources and JiST/SWANS stats.
+
+Tracing is **off by default** and costs one attribute check per call
+site when disabled.  Event kinds and their payload fields are documented
+in DESIGN.md (Observability layer).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, IO, List, Optional
+
+#: Event kinds whose ``count`` field (default 1) is a network-layer
+#: message claimable by an access's ``AccessResult.messages``.
+#: ``virtual-msg`` covers modeled-but-not-transmitted messages (flood
+#: acks, overheard one-hop replies) so the audit ledger still balances.
+MESSAGE_KINDS = frozenset({"hop", "broadcast", "virtual-msg"})
+
+#: Event kinds counting toward ``AccessResult.routing_messages``.
+ROUTING_KINDS = frozenset({"routing"})
+
+#: Default in-memory retention (events); old events fall off the left.
+DEFAULT_RETENTION = 262_144
+
+
+@dataclass
+class TraceEvent:
+    """One typed simulation event."""
+
+    seq: int
+    t: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        """Message multiplicity (events may batch identical messages)."""
+        return int(self.fields.get("count", 1))
+
+    def to_json(self) -> str:
+        # Envelope keys win over same-named payload fields.
+        record = dict(self.fields)
+        record.update({"seq": self.seq, "t": round(self.t, 9),
+                       "kind": self.kind})
+        return json.dumps(record, default=str, separators=(",", ":"))
+
+
+class EventTrace:
+    """An event sink with optional in-memory retention and JSONL output.
+
+    ``mark()`` returns a monotonically increasing sequence number;
+    ``events_since(mark)`` slices the retained events at or after it —
+    the mechanism the auditor uses to isolate one access's events.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._seq = 0
+        self._memory = False
+        self._events: Deque[TraceEvent] = deque()
+        self._writer: Optional[IO[str]] = None
+        self._jsonl_path: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, memory: bool = True, jsonl_path: Optional[str] = None,
+               retention: int = DEFAULT_RETENTION) -> "EventTrace":
+        """Turn the sink on (idempotent; combines with prior settings)."""
+        self.enabled = True
+        if memory:
+            self._memory = True
+            self._events = deque(self._events, maxlen=retention)
+        if jsonl_path and jsonl_path != self._jsonl_path:
+            self.close()
+            # Line-buffered append: every event is one flushed JSON line,
+            # so concurrent sweep workers can share one file.
+            self._writer = open(jsonl_path, "a", buffering=1)
+            self._jsonl_path = jsonl_path
+        return self
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.close()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._jsonl_path = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, kind: str, t: float, /, **fields: Any) -> int:
+        """Append one event; returns its sequence number.
+
+        ``kind`` and ``t`` are positional-only so payload fields may
+        reuse those names (the JSONL envelope keys win on collision).
+        """
+        seq = self._seq
+        self._seq += 1
+        event = TraceEvent(seq=seq, t=t, kind=kind, fields=fields)
+        if self._memory:
+            self._events.append(event)
+        if self._writer is not None:
+            self._writer.write(event.to_json() + "\n")
+        return seq
+
+    # -- querying ----------------------------------------------------------
+
+    def mark(self) -> int:
+        """Current position; pass to :meth:`events_since` later."""
+        return self._seq
+
+    def events_since(self, mark: int) -> List[TraceEvent]:
+        """All retained events with ``seq >= mark`` (oldest first).
+
+        Raises :class:`TraceTruncated` when retention already dropped
+        events at or after the mark — the caller cannot audit reliably.
+        """
+        if self._events and self._events[0].seq > mark:
+            raise TraceTruncated(
+                f"trace retention dropped events: oldest retained seq is "
+                f"{self._events[0].seq}, requested mark {mark}")
+        return [e for e in self._events if e.seq >= mark]
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class TraceTruncated(RuntimeError):
+    """In-memory retention dropped events needed by the caller."""
+
+
+def record_event(net: Any, kind: str, /, **fields: Any) -> None:
+    """Record one event on ``net``'s trace, if it has an enabled one.
+
+    Duck-type safe: network facades without a ``trace`` attribute (e.g.
+    the packet-level :class:`~repro.stack.adapter.PacketQuorumNetwork`)
+    are silently skipped, so instrumented code runs against any backend.
+    """
+    trace = getattr(net, "trace", None)
+    if trace is not None and trace.enabled:
+        trace.record(kind, net.now, **fields)

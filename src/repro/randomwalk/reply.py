@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.obs.trace import record_event
 from repro.simnet.network import SimNetwork
 
 DEFAULT_REPAIR_TTL = 3
@@ -79,13 +80,23 @@ def send_reply(
     """
     rpath = list(reverse_path)
     if not rpath:
-        return ReplyResult(success=False)
+        empty = ReplyResult(success=False)
+        record_event(net, "reply", src=None, dst=None, success=False,
+                     mechanism="reverse-path", hops=0)
+        return empty
     origin = rpath[-1]
     result = ReplyResult(success=False, nodes_traversed=[rpath[0]])
+
+    def _trace() -> None:
+        record_event(net, "reply", src=rpath[0], dst=origin,
+                     success=result.success, mechanism="reverse-path",
+                     hops=result.hops_taken)
+
     pos = 0
     current = rpath[0]
     if current == origin:
         result.success = True
+        _trace()
         return result
 
     while current != origin:
@@ -110,6 +121,7 @@ def send_reply(
         # MAC failure: target moved away or died.
         if not local_repair:
             result.dropped_at = current
+            _trace()
             return result
 
         repaired = False
@@ -143,7 +155,9 @@ def send_reply(
                 break
         if not repaired:
             result.dropped_at = current
+            _trace()
             return result
 
     result.success = True
+    _trace()
     return result

@@ -25,6 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
+from repro.obs.trace import record_event
 from repro.simnet.network import SimNetwork
 
 
@@ -122,6 +123,8 @@ def random_walk(
                               messages=messages, completed=False, dropped=True)
 
         steps += 1
+        record_event(net, "walk-step", walk="random", src=path[-1],
+                     dst=forwarded_to, step=steps, unique=unique)
         current = forwarded_to
         path.append(current)
         if current not in visited_set:
@@ -196,6 +199,8 @@ def max_degree_walk_sample(
         if forwarded is None:
             return SampleResult(node=None, steps=steps, messages=messages,
                                 path=path)
+        record_event(net, "walk-step", walk="max-degree", src=current,
+                     dst=forwarded, step=steps)
         current = forwarded
         path.append(current)
     return SampleResult(node=current, steps=steps, messages=messages, path=path)

@@ -33,6 +33,9 @@ from repro.geometry.grid import SpatialGrid
 from repro.geometry.kernel import NeighborKernel
 from repro.geometry.rgg import GeometricGraph
 from repro.geometry.space import Point, area_side_for_density
+from repro.obs.audit import auditor_from_env
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import EventTrace
 from repro.mobility.models import (
     FixedPlacement,
     MobilityManager,
@@ -137,6 +140,24 @@ class SimNetwork:
         self.sim = sim or Simulator()
         self.rngs = RngRegistry(config.seed)
         side = config.side
+
+        # Observability: typed event trace, metrics registry, accounting
+        # auditor.  Tracing is off unless enabled explicitly, via the
+        # REPRO_TRACE env var (JSONL path), or implied by REPRO_AUDIT.
+        self.trace = EventTrace()
+        self.metrics = MetricsRegistry()
+        self.auditor = auditor_from_env()
+        if self.auditor is not None:
+            self.trace.enable(memory=True)
+        trace_path = os.environ.get("REPRO_TRACE")
+        if trace_path:
+            self.trace.enable(memory=self.auditor is not None,
+                              jsonl_path=trace_path)
+        self._metric_unicasts = self.metrics.counter("net.unicasts")
+        self._metric_unicast_failures = self.metrics.counter(
+            "net.unicast_failures")
+        self._metric_broadcasts = self.metrics.counter("net.broadcasts")
+        self._metric_routing = self.metrics.counter("net.routing")
 
         placement_rng = self.rngs.stream("placement")
         if config.mobility == "waypoint":
@@ -271,6 +292,13 @@ class SimNetwork:
                 if table is not None and node_id in table:
                     table.remove(node_id)
 
+    # -- observability -------------------------------------------------------
+
+    def record_event(self, kind: str, /, **fields) -> None:
+        """Record one trace event at the current simulated time."""
+        if self.trace.enabled:
+            self.trace.record(kind, self.sim.now, **fields)
+
     # -- time ---------------------------------------------------------------
 
     @property
@@ -305,6 +333,7 @@ class SimNetwork:
         self._alive.discard(node_id)
         self._evict_from_geometry(node_id)
         self._known_neighbors.pop(node_id, None)
+        self.record_event("churn", action="fail", node=node_id)
 
     def revive_node(self, node_id: int) -> None:
         """Undo a failure (connectivity-preserving churn rollback)."""
@@ -314,6 +343,7 @@ class SimNetwork:
             self.mobility.add_node(node_id, t=self.sim.now)
         self._alive.add(node_id)
         self._admit_to_geometry(node_id)
+        self.record_event("churn", action="revive", node=node_id)
 
     def join_node(self, position: Optional[Point] = None) -> int:
         """A fresh node joins at a random (or given) position."""
@@ -324,6 +354,7 @@ class SimNetwork:
             table = self._known_neighbors.get(other)
             if table is not None and node_id not in table:
                 table.append(node_id)
+        self.record_event("churn", action="join", node=node_id)
         return node_id
 
     # -- geometry --------------------------------------------------------------
@@ -477,31 +508,45 @@ class SimNetwork:
         either way (the frame was transmitted).
         """
         self.counters["network"] += 1
+        self._metric_unicasts.inc()
         self.advance(self.config.hop_latency)
+        ok = True
         if not self.is_alive(src):
-            return False
-        if not self.is_alive(dst) or not self.in_range(src, dst):
-            if self.is_alive(src):
-                self.energy.charge_failed_unicast(src)
-            return False
-        if self.config.drop_prob > 0 and self._drop_rng.random() < self.config.drop_prob:
+            ok = False
+        elif not self.is_alive(dst) or not self.in_range(src, dst):
             self.energy.charge_failed_unicast(src)
-            return False
-        bystanders = max(0, len(self.true_neighbors(src)) - 1)
-        self.energy.charge_unicast(src, dst, bystanders=bystanders)
-        return True
+            ok = False
+        elif (self.config.drop_prob > 0
+              and self._drop_rng.random() < self.config.drop_prob):
+            self.energy.charge_failed_unicast(src)
+            ok = False
+        else:
+            bystanders = max(0, len(self.true_neighbors(src)) - 1)
+            self.energy.charge_unicast(src, dst, bystanders=bystanders)
+        if not ok:
+            self._metric_unicast_failures.inc()
+        if self.trace.enabled:
+            self.trace.record("hop", self.sim.now, src=src, dst=dst, ok=ok)
+        return ok
 
     def one_hop_broadcast(self, src: int) -> List[int]:
         """Broadcast one frame; returns the alive nodes that received it."""
         self.counters["network"] += 1
+        self._metric_broadcasts.inc()
         self.advance(self.config.hop_latency)
         if not self.is_alive(src):
+            if self.trace.enabled:
+                self.trace.record("broadcast", self.sim.now, src=src,
+                                  receivers=0, ok=False)
             return []
         receivers = self.true_neighbors(src)
         if self.config.drop_prob > 0:
             receivers = [r for r in receivers
                          if self._drop_rng.random() >= self.config.drop_prob]
         self.energy.charge_broadcast(src, receivers=len(receivers))
+        if self.trace.enabled:
+            self.trace.record("broadcast", self.sim.now, src=src,
+                              receivers=len(receivers), ok=True)
         return receivers
 
     # -- TTL-scoped flooding ---------------------------------------------------
@@ -534,6 +579,8 @@ class SimNetwork:
                         next_frontier.append(rx)
             frontier = next_frontier
             hop += 1
+        self.record_event("flood", origin=origin, ttl=ttl,
+                          coverage=len(covered), messages=messages)
         return FloodOutcome(origin=origin, ttl=ttl, covered=covered,
                             parent=parent, messages=messages)
 
@@ -588,12 +635,24 @@ class SimNetwork:
         if path is None:
             # Full-network flood that failed: everybody reachable rebroadcast.
             reached = self._hop_distances_capped(src, cap=self.config.n)
+            self._account_routing(src, dst, len(reached), found=False)
             return None, len(reached)
         needed_ttl = len(path) - 1
         reached = self._hop_distances_capped(src, cap=needed_ttl)
         rreq_cost = len(reached)  # each reached node broadcasts once
         rrep_cost = needed_ttl
+        self._account_routing(src, dst, rreq_cost + rrep_cost, found=True)
         return path, rreq_cost + rrep_cost
+
+    def _account_routing(self, src: int, dst: int, cost: int,
+                         found: bool) -> None:
+        """Trace + meter one routing-control expenditure."""
+        if cost <= 0:
+            return
+        self._metric_routing.inc(cost)
+        if self.trace.enabled:
+            self.trace.record("routing", self.sim.now, src=src, dst=dst,
+                              count=cost, found=found)
 
     def discover_path(self, src: int, dst: int) -> Tuple[Optional[List[int]], int]:
         """Obtain a route (cache hit or discovery) WITHOUT sending data.
@@ -635,6 +694,7 @@ class SimNetwork:
                 if path is None:
                     self._route_cache.pop((src, dst), None)
                     self.counters["routing"] += routing_messages
+                    self.record_event("route", src=src, dst=dst, ok=False)
                     return RouteResult(success=False,
                                        routing_messages=routing_messages,
                                        data_messages=data_messages)
@@ -651,10 +711,13 @@ class SimNetwork:
                     break
             if ok:
                 self.counters["routing"] += routing_messages
+                self.record_event("route", src=src, dst=dst, ok=True,
+                                  hops=len(cached) - 1)
                 return RouteResult(success=True, path=cached,
                                    data_messages=data_messages,
                                    routing_messages=routing_messages)
         self.counters["routing"] += routing_messages
+        self.record_event("route", src=src, dst=dst, ok=False)
         return RouteResult(success=False, data_messages=data_messages,
                            routing_messages=routing_messages)
 
@@ -672,6 +735,7 @@ class SimNetwork:
         reached = self._hop_distances_capped(src, cap=max_hops)
         routing_messages = len(reached)
         self.counters["routing"] += routing_messages
+        self._account_routing(src, dst, routing_messages, found=dst in reached)
         if dst not in reached:
             return RouteResult(success=False, routing_messages=routing_messages)
         path = self._bfs_path(src, dst)
