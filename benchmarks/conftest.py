@@ -15,7 +15,12 @@ Two environment knobs select the performance configuration:
 
 Every run also wall-clocks each bench and merges the timings into
 ``BENCH_simnet.json`` at the repository root, keyed by backend and job
-count, so perf PRs can track the speedup trajectory over time.
+count, so perf PRs can track the speedup trajectory over time.  Each run
+entry carries a ``manifest`` block (git rev, toolchain versions, seed
+policy, host) so a recorded number can always be traced back to the code
+and configuration that produced it; with ``REPRO_PROFILE=1`` the
+session's per-phase profiler table lands in
+``benchmarks/results/PROFILE_bench.txt``.
 """
 
 import json
@@ -72,6 +77,29 @@ def pytest_runtest_call(item):
         time.perf_counter() - start, 3)
 
 
+def _session_manifest(total_seconds: float) -> dict:
+    # By session finish the bench modules have imported repro already,
+    # so this resolves through the same sys.path the benches used.
+    from repro.obs.manifest import collect_manifest
+
+    manifest = collect_manifest(
+        command="bench",
+        params={"n_default": N_DEFAULT, "n_keys": N_KEYS,
+                "n_lookups": N_LOOKUPS, "full_scale": FULL_SCALE},
+        jobs=JOBS,
+        trace_path=os.environ.get("REPRO_TRACE"),
+    )
+    manifest.wall_time_s = round(total_seconds, 3)
+    return manifest.to_dict()
+
+
+def _record_profile_table() -> None:
+    from repro.obs.profile import PROFILER
+
+    if PROFILER.enabled and PROFILER.snapshot():
+        record_result("PROFILE_bench", PROFILER.render())
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _TIMINGS:
         return
@@ -93,5 +121,7 @@ def pytest_sessionfinish(session, exitstatus):
     })
     run["benches"].update(_TIMINGS)
     run["total_seconds"] = round(sum(run["benches"].values()), 3)
+    run["manifest"] = _session_manifest(run["total_seconds"])
     BENCH_TIMINGS_PATH.write_text(json.dumps(payload, indent=2,
                                              sort_keys=True) + "\n")
+    _record_profile_table()

@@ -6,13 +6,22 @@ Usage::
     python -m repro fig10 --n 200 --lookups 100
     python -m repro fig7 --epsilon 0.05
     python -m repro quickstart
+
+plus the offline trace analysis tools::
+
+    python -m repro fig8 --trace t.jsonl
+    python -m repro obs summarize t.jsonl
+    python -m repro obs timeline t.jsonl --access 0
+    python -m repro obs diff a.jsonl b.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from typing import Callable, Dict, List
 
 import repro.experiments as ex
@@ -222,13 +231,48 @@ def collect_report(results_dir: str) -> str:
     return header + "\n\n".join(sections) + "\n"
 
 
+ENV_VARS = {
+    "REPRO_TRACE": "stream simulation events as JSONL to this path",
+    "REPRO_AUDIT": "accounting audit mode: strict (raise) or record",
+    "REPRO_PROFILE": "1 enables the phase profiler (table on stderr)",
+    "REPRO_JOBS": "default parallel sweep workers",
+    "REPRO_MANIFEST_DIR": "directory for per-sweep provenance manifests",
+    "REPRO_NEIGHBOR_BACKEND": "neighbor engine: vectorized or reference",
+}
+
+OBS_COMMANDS = {
+    "summarize": "per-access-kind counts and latency percentiles",
+    "timeline": "ordered events of one access (--access N)",
+    "diff": "compare two trace summaries",
+}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Probabilistic quorum systems "
-                    "in wireless ad hoc networks' (Friedman, Kliot, Avin).")
+                    "in wireless ad hoc networks' (Friedman, Kliot, Avin).",
+        epilog="environment variables: " + "; ".join(
+            f"{name} ({desc})" for name, desc in ENV_VARS.items()))
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list available figures")
+    sub.add_parser("list", help="list available figures and obs tools")
+    obs = sub.add_parser(
+        "obs", help="offline trace analysis (summarize / timeline / diff)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help=OBS_COMMANDS["summarize"])
+    summarize.add_argument("trace", help="JSONL trace file (from --trace)")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON instead of a table")
+    timeline = obs_sub.add_parser("timeline", help=OBS_COMMANDS["timeline"])
+    timeline.add_argument("trace", help="JSONL trace file")
+    timeline.add_argument("--access", type=int, required=True,
+                          metavar="N", help="0-based access ordinal")
+    diff = obs_sub.add_parser("diff", help=OBS_COMMANDS["diff"])
+    diff.add_argument("trace_a", help="baseline JSONL trace")
+    diff.add_argument("trace_b", help="candidate JSONL trace")
+    diff.add_argument("--fail-on-change", action="store_true",
+                      help="exit 1 when the summaries differ")
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results/ into one document")
     report.add_argument("--results-dir", default="benchmarks/results")
@@ -256,8 +300,69 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", metavar="PATH", default=None,
                        help="stream simulation events as JSONL to PATH "
                             "(with --jobs > 1, pool workers append to the "
-                            "same file, so events interleave)")
+                            "same file; writes are flock-serialized)")
+        p.add_argument("--manifest", metavar="PATH", default=None,
+                       help="write a provenance manifest to PATH (default: "
+                            "<trace>.manifest.json when --trace is given)")
     return parser
+
+
+def _run_obs(args) -> int:
+    from repro.obs.query import (
+        access_timeline,
+        diff_summaries,
+        render_diff,
+        render_summary,
+        render_timeline,
+        summarize_trace,
+        summary_to_jsonable,
+    )
+
+    if args.obs_command == "summarize":
+        summary = summarize_trace(args.trace)
+        if args.json:
+            print(json.dumps(summary_to_jsonable(summary), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_summary(summary))
+        return 0
+    if args.obs_command == "timeline":
+        try:
+            events = access_timeline(args.trace, args.access)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_timeline(events, args.access))
+        return 0
+    # diff
+    changes = diff_summaries(summarize_trace(args.trace_a),
+                             summarize_trace(args.trace_b))
+    print(render_diff(changes, args.trace_a, args.trace_b))
+    if changes and args.fail_on_change:
+        return 1
+    return 0
+
+
+def _write_figure_manifest(args, wall_time_s: float) -> str:
+    from repro.obs.manifest import collect_manifest
+
+    path = args.manifest or (args.trace + ".manifest.json")
+    params = {
+        key: getattr(args, key)
+        for key in ("n", "keys", "lookups", "walks", "trials", "epsilon",
+                    "mobility")
+        if getattr(args, key, None) is not None
+    }
+    manifest = collect_manifest(
+        command=args.command,
+        params=params,
+        seed=None,
+        jobs=args.jobs,
+        trace_path=getattr(args, "trace", None),
+    )
+    manifest.wall_time_s = round(wall_time_s, 6)
+    manifest.write(path)
+    return path
 
 
 def main(argv: List[str] = None) -> int:
@@ -267,8 +372,16 @@ def main(argv: List[str] = None) -> int:
         print("available figures:")
         for name, desc in DESCRIPTIONS.items():
             print(f"  {name:7} {desc}")
+        print("\ntrace analysis (python -m repro obs <cmd>):")
+        for name, desc in OBS_COMMANDS.items():
+            print(f"  {name:10} {desc}")
+        print("\nenvironment variables:")
+        for name, desc in ENV_VARS.items():
+            print(f"  {name:24} {desc}")
         print("\nexample: python -m repro fig10 --n 200 --lookups 100")
         return 0
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "report":
         text = collect_report(args.results_dir)
         if args.output:
@@ -281,11 +394,20 @@ def main(argv: List[str] = None) -> int:
     if getattr(args, "trace", None):
         # Picked up by every SimNetwork built from here on — including
         # the ones constructed inside sweep pool workers, which inherit
-        # the environment and append to the same line-buffered file.
+        # the environment and append to the same flock-serialized file.
         os.environ["REPRO_TRACE"] = args.trace
+    started = time.perf_counter()
     print(FIGURES[args.command](args))
+    wall = time.perf_counter() - started
     if getattr(args, "trace", None):
         print(f"\n[trace] events written to {args.trace}", file=sys.stderr)
+    if getattr(args, "manifest", None) or getattr(args, "trace", None):
+        path = _write_figure_manifest(args, wall)
+        print(f"[manifest] run provenance written to {path}",
+              file=sys.stderr)
+    from repro.obs.profile import PROFILER
+    if PROFILER.enabled:
+        print(f"\n{PROFILER.render()}", file=sys.stderr)
     return 0
 
 

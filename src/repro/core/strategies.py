@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Set
 
 from repro.analysis.flooding import DEFAULT_KAPPA, ttl_for_coverage
-from repro.obs.trace import record_event
+from repro.obs.profile import PROFILER
+from repro.obs.trace import TraceTruncated, record_event
 from repro.randomwalk.reply import reverse_path_of, send_reply
 from repro.randomwalk.walker import max_degree_walk_sample, random_walk
 from repro.simnet.network import SimNetwork
@@ -146,18 +147,31 @@ class AccessStrategy(ABC):
                 callback = _traced_store(net, trace, callback)
             else:
                 callback = _traced_probe(net, trace, callback)
-        result = impl(net, origin, callback, target_size)
+        with PROFILER.phase(f"access.{kind}"):
+            result = impl(net, origin, callback, target_size)
         result.latency = net.now - started
         if trace is not None:
             trace.record("access-end", net.now, strategy=self.name,
                          access=kind, origin=origin,
                          messages=result.messages,
                          routing=result.routing_messages,
-                         success=result.success)
+                         success=result.success,
+                         found=result.found,
+                         reply=result.reply_delivered,
+                         quorum=result.quorum_size)
         _publish_access_metrics(net, result)
         auditor = getattr(net, "auditor", None)
         if auditor is not None and mark is not None:
-            auditor.check(result, trace.events_since(mark))
+            try:
+                events = trace.events_since(mark)
+            except TraceTruncated as exc:
+                # Retention dropped events this audit needs.  Surface it
+                # as a violation: strict mode raises (via flag), record
+                # mode keeps the run alive and notes the gap.
+                auditor.flag("trace-truncated", str(exc),
+                             strategy=self.name, kind=kind)
+            else:
+                auditor.check(result, events)
         return result
 
     @abstractmethod

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 from repro.core.biquorum import ProbabilisticBiquorum
 from repro.core.strategies import AccessStrategy
 from repro.membership.service import FullMembership, RandomMembership
+from repro.obs.profile import profiled
 from repro.services.location import LocationService
 from repro.simnet.network import NetworkConfig, SimNetwork
 
@@ -135,6 +136,7 @@ def make_membership(net: SimNetwork, kind: str = "random"):
     raise ValueError(f"unknown membership kind {kind!r}")
 
 
+@profiled("scenario.run")
 def run_scenario(
     net: SimNetwork,
     advertise_strategy: AccessStrategy,

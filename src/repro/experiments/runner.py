@@ -22,11 +22,20 @@ so they parallelize perfectly across a process pool.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.profile import PROFILER
 from repro.sim.rng import RngRegistry
+
+#: Provenance of the most recent :func:`run_sweep` batch in this process
+#: (also written to ``$REPRO_MANIFEST_DIR`` when that is set).
+last_sweep_manifest: Optional[RunManifest] = None
+
+_manifest_counter = 0
 
 
 def default_jobs() -> int:
@@ -63,6 +72,55 @@ def _evaluate(fn: Callable[[Any, int], Any], point: Any, seed: int) -> Any:
     return fn(point, seed)
 
 
+def _evaluate_profiled(fn: Callable[[Any, int], Any], point: Any,
+                       seed: int) -> Any:
+    """Pool trampoline that ships the worker's profiler delta back.
+
+    Each worker process has its own :data:`~repro.obs.profile.PROFILER`;
+    snapshotting before/after the task isolates this task's phases so
+    the parent can merge a complete per-phase table for ``jobs > 1``.
+    """
+    before = PROFILER.snapshot()
+    result = fn(point, seed)
+    after = PROFILER.snapshot()
+    delta = {}
+    for name, stat in after.items():
+        prior = before.get(name, {"calls": 0, "cumulative": 0.0,
+                                  "self": 0.0})
+        delta[name] = {key: stat[key] - prior[key] for key in stat}
+    return result, delta
+
+
+def _sweep_manifest(n_points: int, replications: int, jobs: int,
+                    base_seed: int, fn: Callable,
+                    wall_time_s: float) -> RunManifest:
+    """Record (and optionally persist) one sweep batch's provenance."""
+    global last_sweep_manifest, _manifest_counter
+    target = getattr(fn, "func", fn)  # unwrap functools.partial
+    manifest = collect_manifest(
+        command="sweep",
+        params={
+            "fn": f"{getattr(target, '__module__', '?')}."
+                  f"{getattr(target, '__qualname__', repr(target))}",
+            "points": n_points,
+            "replications": replications,
+        },
+        seed=base_seed,
+        jobs=jobs,
+        trace_path=os.environ.get("REPRO_TRACE"),
+    )
+    manifest.wall_time_s = round(wall_time_s, 6)
+    last_sweep_manifest = manifest
+    out_dir = os.environ.get("REPRO_MANIFEST_DIR")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        _manifest_counter += 1
+        manifest.write(os.path.join(
+            out_dir, f"sweep-{os.getpid()}-{_manifest_counter}"
+                     f".manifest.json"))
+    return manifest
+
+
 def run_sweep(
     points: Sequence[Any],
     fn: Callable[[Any, int], Any],
@@ -81,6 +139,7 @@ def run_sweep(
     if replications < 1:
         raise ValueError("replications must be >= 1")
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    started = time.perf_counter()
     tasks = [
         (index, rep, derive_task_seed(base_seed, index, rep))
         for index in range(len(points))
@@ -91,13 +150,24 @@ def run_sweep(
         for index, rep, seed in tasks:
             outputs[(index, rep)] = fn(points[index], seed)
     else:
+        # With profiling on, workers return (result, profiler delta) so
+        # the parent's table covers the whole fan-out.
+        trampoline = (_evaluate_profiled if PROFILER.enabled
+                      else _evaluate)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                (index, rep): pool.submit(_evaluate, fn, points[index], seed)
+                (index, rep): pool.submit(trampoline, fn, points[index],
+                                          seed)
                 for index, rep, seed in tasks
             }
             for key, future in futures.items():
-                outputs[key] = future.result()
+                value = future.result()
+                if trampoline is _evaluate_profiled:
+                    value, profile_delta = value
+                    PROFILER.merge(profile_delta)
+                outputs[key] = value
+    _sweep_manifest(len(points), replications, jobs, base_seed, fn,
+                    time.perf_counter() - started)
     results = [
         SweepResult(point=point,
                     results=[outputs[(i, r)] for r in range(replications)])

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geometry.space import Point
+from repro.obs.profile import profiled
 
 
 class NeighborKernel:
@@ -159,6 +160,7 @@ class NeighborKernel:
             return sorted({(dx % axis, dy % axis) for dx, dy in raw})
         return raw
 
+    @profiled("kernel.batch_pass")
     def neighbor_tables(self, radius: Optional[float] = None) -> Dict[int, List[int]]:
         """All-pairs-within-radius adjacency, computed in one batched pass.
 

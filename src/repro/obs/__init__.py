@@ -1,7 +1,9 @@
-"""Observability layer: event tracing, metrics, accounting audit.
+"""Observability layer: event tracing, metrics, accounting audit,
+run manifests, phase profiling, and offline trace analysis.
 
 See DESIGN.md (Observability layer) for the event schema, the metric
-name catalogue, and the audit invariants.
+name catalogue, the manifest schema, the profiler phase catalogue, and
+the audit invariants.
 """
 
 from repro.obs.audit import (
@@ -12,7 +14,30 @@ from repro.obs.audit import (
     auditor_from_env,
     own_events,
 )
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    collect_manifest,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PROFILER,
+    PhaseProfiler,
+    profile_enabled_from_env,
+    profiled,
+)
+from repro.obs.query import (
+    AccessAggregate,
+    TraceSummary,
+    access_timeline,
+    diff_summaries,
+    iter_trace,
+    render_diff,
+    render_summary,
+    render_timeline,
+    summarize_trace,
+    summary_to_jsonable,
+)
 from repro.obs.trace import (
     MESSAGE_KINDS,
     ROUTING_KINDS,
@@ -23,19 +48,36 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AccessAggregate",
     "AccountingAuditor",
     "AuditError",
     "AuditViolation",
     "Counter",
     "EventTrace",
     "Histogram",
+    "MANIFEST_SCHEMA",
     "MESSAGE_KINDS",
     "MetricsRegistry",
+    "PROFILER",
+    "PhaseProfiler",
     "ROUTING_KINDS",
+    "RunManifest",
     "TraceEvent",
+    "TraceSummary",
     "TraceTruncated",
+    "access_timeline",
     "audit_access",
     "auditor_from_env",
+    "collect_manifest",
+    "diff_summaries",
+    "iter_trace",
     "own_events",
+    "profile_enabled_from_env",
+    "profiled",
     "record_event",
+    "render_diff",
+    "render_summary",
+    "render_timeline",
+    "summarize_trace",
+    "summary_to_jsonable",
 ]

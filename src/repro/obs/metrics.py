@@ -39,7 +39,10 @@ class Histogram:
     """A value distribution with summary statistics.
 
     Raw observations are retained (simulation scale makes this cheap),
-    so exact quantiles are available.
+    so exact quantiles are available.  An **empty** histogram reports
+    ``nan`` for mean/min/max/percentiles (never raises), so summaries
+    of runs with zero observations — e.g. a trace with no lookups —
+    render cleanly instead of inventing a 0.0 latency.
     """
 
     __slots__ = ("name", "values")
@@ -61,22 +64,25 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / len(self.values) if self.values else 0.0
+        return self.sum / len(self.values) if self.values else math.nan
 
     @property
     def min(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return min(self.values) if self.values else math.nan
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return max(self.values) if self.values else math.nan
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
-        if not self.values:
-            return 0.0
+        """Exact q-th percentile (nearest-rank), q in [0, 100].
+
+        ``nan`` on an empty histogram (range checking still applies).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
+        if not self.values:
+            return math.nan
         ordered = sorted(self.values)
         rank = max(0, min(len(ordered) - 1,
                           int(math.ceil(q / 100.0 * len(ordered))) - 1))

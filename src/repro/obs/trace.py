@@ -21,6 +21,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, IO, List, Optional
 
+try:  # POSIX-only; Windows falls back to unlocked appends.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 #: Event kinds whose ``count`` field (default 1) is a network-layer
 #: message claimable by an access's ``AccessResult.messages``.
 #: ``virtual-msg`` covers modeled-but-not-transmitted messages (flood
@@ -71,22 +76,33 @@ class EventTrace:
         self._events: Deque[TraceEvent] = deque()
         self._writer: Optional[IO[str]] = None
         self._jsonl_path: Optional[str] = None
+        self._lock_writes = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def enable(self, memory: bool = True, jsonl_path: Optional[str] = None,
-               retention: int = DEFAULT_RETENTION) -> "EventTrace":
-        """Turn the sink on (idempotent; combines with prior settings)."""
+               retention: int = DEFAULT_RETENTION,
+               lock: Optional[bool] = None) -> "EventTrace":
+        """Turn the sink on (idempotent; combines with prior settings).
+
+        ``lock`` guards each JSONL write with an OS-level advisory lock
+        (``flock``), so sweep-pool workers appending to one shared
+        ``REPRO_TRACE`` file can never interleave mid-record.  It
+        defaults to on whenever a JSONL path is given (the lock is
+        uncontended — and cheap — in the single-process case).
+        """
         self.enabled = True
         if memory:
             self._memory = True
             self._events = deque(self._events, maxlen=retention)
         if jsonl_path and jsonl_path != self._jsonl_path:
             self.close()
-            # Line-buffered append: every event is one flushed JSON line,
-            # so concurrent sweep workers can share one file.
+            # O_APPEND + one write()+flush per event: each JSON line
+            # lands in the file atomically relative to other writers.
             self._writer = open(jsonl_path, "a", buffering=1)
             self._jsonl_path = jsonl_path
+        if jsonl_path:
+            self._lock_writes = lock if lock is not None else True
         return self
 
     def disable(self) -> None:
@@ -119,8 +135,22 @@ class EventTrace:
         if self._memory:
             self._events.append(event)
         if self._writer is not None:
-            self._writer.write(event.to_json() + "\n")
+            self._write_line(event.to_json() + "\n")
         return seq
+
+    def _write_line(self, line: str) -> None:
+        """One whole JSONL record, written atomically w.r.t. co-writers."""
+        writer = self._writer
+        if self._lock_writes and fcntl is not None:
+            fcntl.flock(writer.fileno(), fcntl.LOCK_EX)
+            try:
+                writer.write(line)
+                writer.flush()
+            finally:
+                fcntl.flock(writer.fileno(), fcntl.LOCK_UN)
+        else:
+            writer.write(line)
+            writer.flush()
 
     # -- querying ----------------------------------------------------------
 

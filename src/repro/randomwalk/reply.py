@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.obs.profile import profiled
 from repro.obs.trace import record_event
 from repro.simnet.network import SimNetwork
 
@@ -63,6 +64,7 @@ def reverse_path_of(walk_path: Sequence[int]) -> List[int]:
     return rpath
 
 
+@profiled("reply.deliver")
 def send_reply(
     net: SimNetwork,
     reverse_path: Sequence[int],

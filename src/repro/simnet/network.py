@@ -35,6 +35,7 @@ from repro.geometry.rgg import GeometricGraph
 from repro.geometry.space import Point, area_side_for_density
 from repro.obs.audit import auditor_from_env
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PROFILER
 from repro.obs.trace import EventTrace
 from repro.mobility.models import (
     FixedPlacement,
@@ -330,30 +331,34 @@ class SimNetwork:
         """Crash/leave: the node stops participating immediately."""
         if node_id not in self._alive:
             return
-        self._alive.discard(node_id)
-        self._evict_from_geometry(node_id)
-        self._known_neighbors.pop(node_id, None)
+        with PROFILER.phase("churn.update"):
+            self._alive.discard(node_id)
+            self._evict_from_geometry(node_id)
+            self._known_neighbors.pop(node_id, None)
         self.record_event("churn", action="fail", node=node_id)
 
     def revive_node(self, node_id: int) -> None:
         """Undo a failure (connectivity-preserving churn rollback)."""
         if node_id in self._alive:
             return
-        if node_id not in self.mobility:
-            self.mobility.add_node(node_id, t=self.sim.now)
-        self._alive.add(node_id)
-        self._admit_to_geometry(node_id)
+        with PROFILER.phase("churn.update"):
+            if node_id not in self.mobility:
+                self.mobility.add_node(node_id, t=self.sim.now)
+            self._alive.add(node_id)
+            self._admit_to_geometry(node_id)
         self.record_event("churn", action="revive", node=node_id)
 
     def join_node(self, position: Optional[Point] = None) -> int:
         """A fresh node joins at a random (or given) position."""
-        node_id = self._spawn_node(position)
-        # The newcomer learns its neighbors on arrival (first heartbeat).
-        self._known_neighbors[node_id] = self.true_neighbors(node_id)
-        for other in self._known_neighbors[node_id]:
-            table = self._known_neighbors.get(other)
-            if table is not None and node_id not in table:
-                table.append(node_id)
+        with PROFILER.phase("churn.update"):
+            node_id = self._spawn_node(position)
+            # The newcomer learns its neighbors on arrival (first
+            # heartbeat).
+            self._known_neighbors[node_id] = self.true_neighbors(node_id)
+            for other in self._known_neighbors[node_id]:
+                table = self._known_neighbors.get(other)
+                if table is not None and node_id not in table:
+                    table.append(node_id)
         self.record_event("churn", action="join", node=node_id)
         return node_id
 
@@ -389,11 +394,12 @@ class SimNetwork:
         if (self._grid is None
                 or self.sim.now - self._grid_time >= refresh
                 or self._grid_time < 0):
-            grid = SpatialGrid(side=self.config.side,
-                               cell_size=self.config.radio_range,
-                               torus=self.config.torus)
-            for node_id in self._alive:
-                grid.insert(node_id, self.position(node_id))
+            with PROFILER.phase("neighbor.rebuild"):
+                grid = SpatialGrid(side=self.config.side,
+                                   cell_size=self.config.radio_range,
+                                   torus=self.config.torus)
+                for node_id in self._alive:
+                    grid.insert(node_id, self.position(node_id))
             self._grid = grid
             self._grid_time = self.sim.now
         return self._grid
@@ -409,14 +415,17 @@ class SimNetwork:
         if self._tables is not None and (static
                                          or self._tables_time == self.sim.now):
             return self._tables
-        ids = sorted(self._alive)
-        if self._kernel is None or not static:
-            kernel = NeighborKernel(side=self.config.side,
-                                    radius=self.config.radio_range,
-                                    torus=self.config.torus)
-            kernel.rebuild(ids, [self.position(i) for i in ids])
-            self._kernel = kernel
-        self._tables = self._kernel.neighbor_tables()
+        with PROFILER.phase("neighbor.rebuild"):
+            ids = sorted(self._alive)
+            if self._kernel is None or not static:
+                kernel = NeighborKernel(side=self.config.side,
+                                        radius=self.config.radio_range,
+                                        torus=self.config.torus)
+                with PROFILER.phase("mobility.positions"):
+                    positions = [self.position(i) for i in ids]
+                kernel.rebuild(ids, positions)
+                self._kernel = kernel
+            self._tables = self._kernel.neighbor_tables()
         self._tables_time = self.sim.now
         return self._tables
 
@@ -448,16 +457,18 @@ class SimNetwork:
         return list(self._known_neighbors.get(node_id, []))
 
     def _refresh_neighbor_tables(self) -> None:
-        if self.config.neighbor_backend == "vectorized":
-            tables = self._neighbor_tables()
+        with PROFILER.phase("neighbor.heartbeat"):
+            if self.config.neighbor_backend == "vectorized":
+                tables = self._neighbor_tables()
+                self._known_neighbors = {
+                    node_id: list(tables.get(node_id, ()))
+                    for node_id in self._alive
+                }
+                return
             self._known_neighbors = {
-                node_id: list(tables.get(node_id, ()))
+                node_id: self.true_neighbors(node_id)
                 for node_id in self._alive
             }
-            return
-        self._known_neighbors = {
-            node_id: self.true_neighbors(node_id) for node_id in self._alive
-        }
 
     def snapshot_graph(self) -> GeometricGraph:
         """Current ground-truth connectivity graph (ids compacted are NOT
@@ -631,18 +642,20 @@ class SimNetwork:
         the destination rebroadcasts the RREQ once, and the RREP travels
         back along the path.
         """
-        path = self._bfs_path(src, dst)
-        if path is None:
-            # Full-network flood that failed: everybody reachable rebroadcast.
-            reached = self._hop_distances_capped(src, cap=self.config.n)
-            self._account_routing(src, dst, len(reached), found=False)
-            return None, len(reached)
-        needed_ttl = len(path) - 1
-        reached = self._hop_distances_capped(src, cap=needed_ttl)
-        rreq_cost = len(reached)  # each reached node broadcasts once
-        rrep_cost = needed_ttl
-        self._account_routing(src, dst, rreq_cost + rrep_cost, found=True)
-        return path, rreq_cost + rrep_cost
+        with PROFILER.phase("routing.discover"):
+            path = self._bfs_path(src, dst)
+            if path is None:
+                # Full-network flood that failed: everybody reachable
+                # rebroadcast.
+                reached = self._hop_distances_capped(src, cap=self.config.n)
+                self._account_routing(src, dst, len(reached), found=False)
+                return None, len(reached)
+            needed_ttl = len(path) - 1
+            reached = self._hop_distances_capped(src, cap=needed_ttl)
+            rreq_cost = len(reached)  # each reached node broadcasts once
+            rrep_cost = needed_ttl
+            self._account_routing(src, dst, rreq_cost + rrep_cost, found=True)
+            return path, rreq_cost + rrep_cost
 
     def _account_routing(self, src: int, dst: int, cost: int,
                          found: bool) -> None:
