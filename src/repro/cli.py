@@ -188,11 +188,29 @@ def _fig16(args) -> str:
     return "Figure 16 (summary)\n" + ex.render_summary(rows)
 
 
+def _maint(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    points = ex.maintenance_curves(n=args.n, epsilon=args.epsilon,
+                                   n_keys=args.keys)
+    table = format_table(
+        ["refresh", "t", "n", "intersection", "rounds"],
+        [(p.refresh, p.t, p.n_alive, p.intersection, p.refresh_rounds)
+         for p in points])
+    chart = render_series(
+        {f"refresh {mode}": [(p.t, p.intersection) for p in points
+                             if p.refresh == mode]
+         for mode in ("off", "on")},
+        x_label="sim time (s)", y_label="intersection")
+    return (f"Maintenance degradation under churn (Section 6.1)\n"
+            f"{table}\n\n{chart}")
+
+
 FIGURES: Dict[str, Callable] = {
     "fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig14": _fig14,
-    "fig15": _fig15, "fig16": _fig16,
+    "fig15": _fig15, "fig16": _fig16, "maint": _maint,
 }
 
 DESCRIPTIONS = {
@@ -210,6 +228,7 @@ DESCRIPTIONS = {
     "fig14": "reply-path repair + churn",
     "fig15": "lookup strategy trade-off curves",
     "fig16": "summary cost table",
+    "maint": "maintenance degradation, refresh off vs adaptive",
 }
 
 
@@ -246,6 +265,12 @@ OBS_COMMANDS = {
     "diff": "compare two trace summaries",
 }
 
+FAULTS_COMMANDS = {
+    "run": "run a workload under a seeded fault campaign",
+    "list": "list builtin campaigns",
+    "show": "print a campaign's JSON schema",
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -273,6 +298,25 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("trace_b", help="candidate JSONL trace")
     diff.add_argument("--fail-on-change", action="store_true",
                       help="exit 1 when the summaries differ")
+    faults = sub.add_parser(
+        "faults", help="deterministic fault-injection campaigns")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    frun = faults_sub.add_parser("run", help=FAULTS_COMMANDS["run"])
+    frun.add_argument("--campaign", default="smoke",
+                      help="builtin campaign name or JSON schema path")
+    frun.add_argument("--n", type=int, default=100, help="network size")
+    frun.add_argument("--seed", type=int, default=7, help="master seed")
+    frun.add_argument("--keys", type=int, default=10,
+                      help="number of advertisements")
+    frun.add_argument("--lookups", type=int, default=60,
+                      help="number of lookups spread over the campaign")
+    frun.add_argument("--refresh", choices=("adaptive", "static", "off"),
+                      default="adaptive", help="refresh daemon mode")
+    frun.add_argument("--trace", metavar="PATH", default=None,
+                      help="stream simulation events as JSONL to PATH")
+    faults_sub.add_parser("list", help=FAULTS_COMMANDS["list"])
+    fshow = faults_sub.add_parser("show", help=FAULTS_COMMANDS["show"])
+    fshow.add_argument("campaign", help="builtin name or JSON schema path")
     report = sub.add_parser(
         "report", help="aggregate benchmarks/results/ into one document")
     report.add_argument("--results-dir", default="benchmarks/results")
@@ -343,6 +387,39 @@ def _run_obs(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    from repro.faults import BUILTIN_CAMPAIGNS, load_campaign, run_fault_campaign
+
+    if args.faults_command == "list":
+        print("builtin campaigns:")
+        for name, campaign in sorted(BUILTIN_CAMPAIGNS.items()):
+            print(f"  {name:12} {len(campaign.injections)} injections over "
+                  f"{campaign.duration:.4g}s")
+        return 0
+    if args.faults_command == "show":
+        try:
+            campaign = load_campaign(args.campaign)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(campaign.to_dict(), indent=2))
+        return 0
+    # run
+    if args.trace:
+        os.environ["REPRO_TRACE"] = args.trace
+    try:
+        report = run_fault_campaign(
+            campaign=args.campaign, n=args.n, seed=args.seed,
+            n_keys=args.keys, n_lookups=args.lookups, refresh=args.refresh)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("\n".join(report.lines()))
+    if args.trace:
+        print(f"[trace] events written to {args.trace}", file=sys.stderr)
+    return 0
+
+
 def _write_figure_manifest(args, wall_time_s: float) -> str:
     from repro.obs.manifest import collect_manifest
 
@@ -375,6 +452,9 @@ def main(argv: List[str] = None) -> int:
         print("\ntrace analysis (python -m repro obs <cmd>):")
         for name, desc in OBS_COMMANDS.items():
             print(f"  {name:10} {desc}")
+        print("\nfault campaigns (python -m repro faults <cmd>):")
+        for name, desc in FAULTS_COMMANDS.items():
+            print(f"  {name:10} {desc}")
         print("\nenvironment variables:")
         for name, desc in ENV_VARS.items():
             print(f"  {name:24} {desc}")
@@ -382,6 +462,8 @@ def main(argv: List[str] = None) -> int:
         return 0
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "faults":
+        return _run_faults(args)
     if args.command == "report":
         text = collect_report(args.results_dir)
         if args.output:

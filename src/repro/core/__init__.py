@@ -7,6 +7,7 @@ from repro.core.biquorum import (
 )
 from repro.core.gossip import GossipFloodStrategy
 from repro.core.strategies import (
+    AccessPolicy,
     AccessResult,
     AccessStrategy,
     FloodingStrategy,
@@ -22,6 +23,7 @@ __all__ = [
     "ProbabilisticBiquorum",
     "QuorumSizing",
     "plan_sizes",
+    "AccessPolicy",
     "AccessResult",
     "AccessStrategy",
     "FloodingStrategy",

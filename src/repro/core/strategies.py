@@ -76,6 +76,51 @@ def _publish_access_metrics(net: SimNetwork, result: "AccessResult") -> None:
     metrics.histogram(prefix + ".quorum_size").observe(result.quorum_size)
 
 
+@dataclass(frozen=True)
+class AccessPolicy:
+    """Deadline/retry/backoff envelope for quorum accesses (robustness
+    layer; the paper assumes accesses always complete).
+
+    ``deadline`` bounds the whole access including retries, in simulated
+    seconds.  A failed attempt is retried up to ``max_retries`` times
+    after an exponential backoff ``backoff_base * backoff_factor**(i-1)``
+    (capped at ``backoff_max``), desynchronised by a proportional jitter
+    drawn from the dedicated ``access-policy`` RNG stream.  A retry is
+    only launched when the backoff still fits inside the deadline.
+    """
+
+    deadline: Optional[float] = None     # seconds; None = unbounded
+    max_retries: int = 0                 # extra attempts after the first
+    backoff_base: float = 0.05           # seconds before the first retry
+    backoff_factor: float = 2.0          # exponential growth per retry
+    backoff_max: float = 5.0             # backoff ceiling, pre-jitter
+    jitter: float = 0.1                  # +U(0, jitter) fraction of backoff
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base > 0 and backoff_factor >= 1 required")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether the policy changes anything over the bare access."""
+        return self.max_retries > 0 or self.deadline is not None
+
+    def backoff_before(self, retry_index: int,
+                       rng: random.Random) -> float:
+        """Backoff (seconds) before retry ``retry_index`` (1-based)."""
+        base = min(self.backoff_max,
+                   self.backoff_base * self.backoff_factor ** (retry_index - 1))
+        if self.jitter > 0:
+            base += base * self.jitter * rng.random()
+        return base
+
+
 @dataclass
 class AccessResult:
     """Outcome and cost accounting of one quorum access."""
@@ -93,6 +138,8 @@ class AccessResult:
     target_size: int = 0
     overheard: bool = False          # hit came from promiscuous overhearing
     latency: float = 0.0             # simulated seconds the access took
+    attempts: int = 1                # policy attempts consumed (1 = no retry)
+    deadline_missed: bool = False    # policy deadline was blown
 
     @property
     def quorum_size(self) -> int:
@@ -121,6 +168,13 @@ class AccessStrategy(ABC):
     #: Whether accesses hit uniformly random nodes — i.e. whether this
     #: strategy can serve as the RANDOM side of the mix-and-match lemma.
     uniform_random: bool = False
+    #: Optional deadline/retry envelope applied by ``_run_access``.
+    policy: Optional[AccessPolicy] = None
+
+    def set_policy(self, policy: Optional[AccessPolicy]) -> "AccessStrategy":
+        """Attach (or clear) a retry/deadline policy; returns self."""
+        self.policy = policy
+        return self
 
     def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
                   target_size: int) -> AccessResult:
@@ -137,6 +191,63 @@ class AccessStrategy(ABC):
     def _run_access(self, net: SimNetwork, kind: str, impl: Callable,
                     origin: int, callback: Callable,
                     target_size: int) -> AccessResult:
+        """Run the access under the attached :class:`AccessPolicy`.
+
+        Each *attempt* is a fully audited/traced/metered access (see
+        :meth:`_run_attempt`); the policy loop sits above the per-attempt
+        accounting, waiting out backoffs on the simulated clock, so
+        per-attempt audits stay balanced.  The returned result carries
+        the *cumulative* message cost and total elapsed latency.
+        """
+        policy = self.policy
+        if policy is None or not policy.active:
+            return self._run_attempt(net, kind, impl, origin, callback,
+                                     target_size)
+        started = net.now
+        rng = net.rngs.stream("access-policy")
+        metrics = getattr(net, "metrics", None)
+        result = self._run_attempt(net, kind, impl, origin, callback,
+                                   target_size)
+        attempts = 1
+        messages = result.messages
+        routing = result.routing_messages
+        deadline_abandoned = False
+        while not result.success and attempts <= policy.max_retries:
+            backoff = policy.backoff_before(attempts, rng)
+            if (policy.deadline is not None
+                    and (net.now - started) + backoff >= policy.deadline):
+                deadline_abandoned = True
+                break
+            record_event(net, "access-retry", strategy=self.name,
+                         access=kind, origin=origin, attempt=attempts,
+                         backoff=backoff)
+            if metrics is not None:
+                metrics.counter("access.retries").inc()
+            net.advance(backoff)
+            result = self._run_attempt(net, kind, impl, origin, callback,
+                                       target_size)
+            attempts += 1
+            messages += result.messages
+            routing += result.routing_messages
+        result.attempts = attempts
+        result.messages = messages
+        result.routing_messages = routing
+        result.latency = net.now - started
+        if policy.deadline is not None and (
+                result.latency > policy.deadline
+                or deadline_abandoned
+                or not result.success):
+            result.deadline_missed = True
+            record_event(net, "access-deadline-miss", strategy=self.name,
+                         access=kind, origin=origin, attempts=attempts,
+                         elapsed=result.latency)
+            if metrics is not None:
+                metrics.counter("access.deadline_misses").inc()
+        return result
+
+    def _run_attempt(self, net: SimNetwork, kind: str, impl: Callable,
+                     origin: int, callback: Callable,
+                     target_size: int) -> AccessResult:
         trace = _live_trace(net)
         mark = trace.mark() if trace is not None else None
         started = net.now

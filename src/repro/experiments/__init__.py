@@ -44,6 +44,11 @@ from repro.experiments.fig13_14_mobility import (
     churn_sweep,
     mobility_sweep,
 )
+from repro.experiments.fig_maintenance import (
+    MaintenancePoint,
+    expected_intersection,
+    maintenance_curves,
+)
 from repro.experiments.ascii_plot import render_series
 from repro.experiments.runner import (
     SweepResult,
@@ -80,6 +85,7 @@ __all__ = [
     "FloodingLookupPoint", "flooding_lookup",
     "PathPathPoint", "path_x_path",
     "ChurnPoint", "MobilityPoint", "churn_sweep", "mobility_sweep",
+    "MaintenancePoint", "expected_intersection", "maintenance_curves",
     "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
     "render_summary", "summary_table",
     "render_series",

@@ -1,0 +1,36 @@
+"""Deterministic fault-injection campaigns (robustness subsystem).
+
+A :class:`FaultCampaign` is a seeded, declarative schedule of fault
+injections — drop-probability bursts, mass-failure waves, join surges,
+spatial partitions, membership-staleness windows — that a
+:class:`CampaignRunner` drives through the simulation clock and the
+deployment's named RNG streams, so identical seeds give identical event
+traces (byte-identical at the ``repro obs summarize --json`` level).
+"""
+
+from repro.faults.campaign import (
+    BUILTIN_CAMPAIGNS,
+    CampaignRunner,
+    DropBurst,
+    FailureWave,
+    FaultCampaign,
+    JoinWave,
+    Partition,
+    StalenessWindow,
+    load_campaign,
+)
+from repro.faults.scenario import CampaignReport, run_fault_campaign
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignReport",
+    "CampaignRunner",
+    "DropBurst",
+    "FailureWave",
+    "FaultCampaign",
+    "JoinWave",
+    "Partition",
+    "StalenessWindow",
+    "load_campaign",
+    "run_fault_campaign",
+]

@@ -1,0 +1,162 @@
+"""End-to-end fault-campaign scenario (the ``repro faults run`` command).
+
+Builds a seeded deployment — RANDOM advertise / UNIQUE-PATH lookup with
+an :class:`~repro.core.strategies.AccessPolicy` retry envelope, a
+location service with bystander caching, and an (optionally adaptive)
+refresh daemon — then runs a lookup workload while a
+:class:`~repro.faults.campaign.CampaignRunner` injects the campaign's
+faults.  Everything is keyed off the single master seed, so two runs
+with the same arguments produce byte-identical trace summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.biquorum import ProbabilisticBiquorum
+from repro.core.strategies import AccessPolicy, RandomStrategy, UniquePathStrategy
+from repro.faults.campaign import CampaignRunner, FaultCampaign, load_campaign
+from repro.membership.service import RandomMembership
+from repro.services.location import LocationService
+from repro.services.maintenance import RefreshDaemon
+from repro.simnet.network import NetworkConfig, SimNetwork
+
+
+@dataclass
+class CampaignReport:
+    """What a fault-campaign run did and how the service held up."""
+
+    campaign: str
+    n_initial: int
+    n_final: int
+    seed: int
+    sim_time: float
+    injections_applied: int
+    advertises: int
+    lookups: int
+    hits: int
+    retries: int
+    deadline_misses: int
+    failures: int
+    joins: int
+    revives: int
+    refresh_rounds: int
+    refresh_lost: int
+    refresh_interval_updates: int
+    refresh_interval: Optional[float]
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def lines(self) -> list:
+        return [
+            f"campaign {self.campaign}: n={self.n_initial}->{self.n_final} "
+            f"seed={self.seed} sim_time={self.sim_time:.4g}s "
+            f"injections={self.injections_applied}",
+            f"workload: advertises={self.advertises} lookups={self.lookups} "
+            f"hits={self.hits} hit_ratio={self.hit_ratio:.3f}",
+            f"policy: retries={self.retries} "
+            f"deadline_misses={self.deadline_misses}",
+            f"churn: failures={self.failures} joins={self.joins} "
+            f"revives={self.revives}",
+            f"refresh: rounds={self.refresh_rounds} lost={self.refresh_lost} "
+            f"interval_updates={self.refresh_interval_updates}"
+            + (f" interval={self.refresh_interval:.4g}s"
+               if self.refresh_interval is not None else ""),
+        ]
+
+
+def run_fault_campaign(
+    campaign: "FaultCampaign | str" = "smoke",
+    n: int = 100,
+    seed: int = 7,
+    n_keys: int = 10,
+    n_lookups: int = 60,
+    avg_degree: float = 10.0,
+    duration: Optional[float] = None,
+    refresh: str = "adaptive",          # "adaptive" | "static" | "off"
+    refresh_interval: float = 20.0,
+    epsilon: float = 0.05,
+    min_intersection: float = 0.9,
+    policy: Optional[AccessPolicy] = AccessPolicy(
+        deadline=5.0, max_retries=2),
+) -> CampaignReport:
+    """Run the workload-under-faults scenario; returns a report."""
+    if isinstance(campaign, str):
+        campaign = load_campaign(campaign)
+    if refresh not in ("adaptive", "static", "off"):
+        raise ValueError("refresh must be adaptive, static, or off")
+    if duration is None:
+        duration = campaign.duration + 10.0
+
+    net = SimNetwork(NetworkConfig(n=n, avg_degree=avg_degree, seed=seed))
+    membership = RandomMembership(net)
+    size = max(1, int(round(math.sqrt(n * math.log(1.0 / epsilon)))))
+    advertise = RandomStrategy(membership).set_policy(policy)
+    lookup = UniquePathStrategy().set_policy(policy)
+    biquorum = ProbabilisticBiquorum(
+        net, advertise=advertise, lookup=lookup,
+        advertise_size=size, lookup_size=size,
+        adjust_to_network_size=False)
+    service = LocationService(biquorum, enable_caching=True)
+
+    daemon: Optional[RefreshDaemon] = None
+    if refresh != "off":
+        daemon = RefreshDaemon(
+            service, interval=refresh_interval,
+            epsilon=epsilon, min_intersection=min_intersection,
+            adaptive=(refresh == "adaptive"))
+
+    wrng = net.rngs.stream("workload")
+    keys = [f"key-{i}" for i in range(n_keys)]
+    advertises = 0
+    for key in keys:
+        origin = net.random_alive_node(wrng)
+        service.advertise(origin, key, f"value-of-{key}")
+        advertises += 1
+
+    runner = CampaignRunner(net, campaign,
+                            memberships=(membership,)).start()
+
+    start = net.now
+    step = duration / max(1, n_lookups)
+    lookups = hits = 0
+    for i in range(n_lookups):
+        net.run_until(start + i * step)
+        looker = net.random_alive_node(wrng)
+        receipt = service.lookup(looker, wrng.choice(keys))
+        lookups += 1
+        if receipt.found:
+            hits += 1
+    net.run_until(start + duration)
+
+    runner.stop()
+    if daemon is not None:
+        daemon.stop()
+    membership.stop()
+
+    metrics = net.metrics
+    return CampaignReport(
+        campaign=campaign.name,
+        n_initial=n,
+        n_final=net.n_alive,
+        seed=seed,
+        sim_time=net.now,
+        injections_applied=runner.injections_applied,
+        advertises=advertises,
+        lookups=lookups,
+        hits=hits,
+        retries=metrics.counter_value("access.retries"),
+        deadline_misses=metrics.counter_value("access.deadline_misses"),
+        failures=metrics.counter_value("churn.failures"),
+        joins=metrics.counter_value("churn.joins"),
+        revives=metrics.counter_value("churn.revives"),
+        refresh_rounds=daemon.stats.rounds if daemon else 0,
+        refresh_lost=daemon.stats.lost if daemon else 0,
+        refresh_interval_updates=(daemon.stats.interval_updates
+                                  if daemon else 0),
+        refresh_interval=daemon.interval if daemon else None,
+    )

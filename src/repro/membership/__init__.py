@@ -2,10 +2,16 @@
 plus random-walk network-size estimation."""
 
 from repro.membership.estimation import NetworkSizeEstimator, SizeEstimate
-from repro.membership.service import FullMembership, RandomMembership, uniform_sample
+from repro.membership.service import (
+    FullMembership,
+    MembershipFreezeMixin,
+    RandomMembership,
+    uniform_sample,
+)
 
 __all__ = [
     "FullMembership",
+    "MembershipFreezeMixin",
     "RandomMembership",
     "uniform_sample",
     "NetworkSizeEstimator",

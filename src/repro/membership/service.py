@@ -29,7 +29,25 @@ from repro.sim.kernel import PeriodicTimer
 from repro.simnet.network import SimNetwork
 
 
-class FullMembership:
+class MembershipFreezeMixin:
+    """Staleness injection: a frozen membership skips refreshes.
+
+    Fault campaigns freeze views to model epochs where membership
+    floods/walks are lost, so accesses keep targeting a stale id set.
+    """
+
+    frozen: bool = False
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def thaw(self, refresh: bool = True) -> None:
+        self.frozen = False
+        if refresh:
+            self.refresh()  # type: ignore[attr-defined]
+
+
+class FullMembership(MembershipFreezeMixin):
     """Snapshot-based full membership view."""
 
     def __init__(self, net: SimNetwork, refresh_interval: float = 60.0) -> None:
@@ -39,6 +57,8 @@ class FullMembership:
 
     def refresh(self) -> None:
         """Re-learn the alive set (models a membership flood epoch)."""
+        if self.frozen:
+            return
         self._view = self.net.alive_nodes()
 
     def view(self, node_id: Optional[int] = None) -> List[int]:
@@ -61,7 +81,7 @@ class FullMembership:
         self._timer.stop()
 
 
-class RandomMembership:
+class RandomMembership(MembershipFreezeMixin):
     """RaWMS-style partial random membership.
 
     Every node keeps a private list of ``view_size`` uniform node ids
@@ -92,6 +112,8 @@ class RandomMembership:
 
     def refresh(self) -> None:
         """Draw a fresh uniform view for every alive node."""
+        if self.frozen:
+            return
         alive = self.net.alive_nodes()
         size = self.view_size
         self._views = {}

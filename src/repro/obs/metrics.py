@@ -106,6 +106,16 @@ class MetricsRegistry:
             counter = self._counters[name] = Counter(name)
         return counter
 
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter; 0 if it was never created.
+
+        Unlike :meth:`counter`, reading never materialises the counter,
+        so observers (e.g. the churn-adaptive refresh daemon) do not
+        perturb the snapshot key set.
+        """
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:

@@ -90,12 +90,28 @@ class TraceSummary:
     replies: int = 0
     replies_delivered: int = 0
     open_accesses: int = 0           # starts never matched by an end
+    access_retries: int = 0          # policy retry launches
+    deadline_misses: int = 0         # policy deadline violations
+    churn_actions: Dict[str, int] = field(default_factory=dict)
     t_min: float = math.inf
     t_max: float = -math.inf
 
     def snapshot(self) -> Dict[str, Any]:
         """Flat dict in ``MetricsRegistry.snapshot()`` key format."""
         out: Dict[str, Any] = {}
+        # Policy/churn counters are created lazily in the live registry
+        # (only on first increment), so mirror them only when nonzero to
+        # keep the offline snapshot key-identical to the live one.
+        if self.access_retries:
+            out["access.retries"] = self.access_retries
+        if self.deadline_misses:
+            out["access.deadline_misses"] = self.deadline_misses
+        for action, metric in (("fail", "churn.failures"),
+                               ("join", "churn.joins"),
+                               ("revive", "churn.revives")):
+            count = self.churn_actions.get(action, 0)
+            if count:
+                out[metric] = count
         for kind in sorted(self.access):
             agg = self.access[kind]
             prefix = f"access.{kind}"
@@ -148,6 +164,14 @@ def summarize_trace(source: PathOrLines) -> TraceSummary:
             summary.replies += 1
             if event.get("success"):
                 summary.replies_delivered += 1
+        elif kind == "access-retry":
+            summary.access_retries += 1
+        elif kind == "access-deadline-miss":
+            summary.deadline_misses += 1
+        elif kind == "churn":
+            action = str(event.get("action", "?"))
+            summary.churn_actions[action] = (
+                summary.churn_actions.get(action, 0) + 1)
         elif kind == "access-start":
             key = (event.get("strategy"), event.get("access"),
                    event.get("origin"))
@@ -207,6 +231,13 @@ def render_summary(summary: TraceSummary) -> str:
                  f"routing: {summary.traced_routing}   "
                  f"replies: {summary.replies_delivered}/{summary.replies} "
                  f"delivered")
+    if summary.access_retries or summary.deadline_misses:
+        lines.append(f"access policy: retries={summary.access_retries}   "
+                     f"deadline misses={summary.deadline_misses}")
+    if summary.churn_actions:
+        detail = " ".join(f"{action}={count}" for action, count
+                          in sorted(summary.churn_actions.items()))
+        lines.append(f"churn: {detail}")
     for kind in sorted(summary.access):
         agg = summary.access[kind]
         lines.append("")
@@ -248,6 +279,9 @@ def summary_to_jsonable(summary: TraceSummary) -> Dict[str, Any]:
         "replies": summary.replies,
         "replies_delivered": summary.replies_delivered,
         "open_accesses": summary.open_accesses,
+        "access_retries": summary.access_retries,
+        "deadline_misses": summary.deadline_misses,
+        "churn_actions": dict(sorted(summary.churn_actions.items())),
         "metrics": clean(summary.snapshot()),
     }
 

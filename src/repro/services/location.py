@@ -80,6 +80,11 @@ class LocationService:
         self.net = biquorum.net
         self.enable_caching = enable_caching
         self.cache_capacity = cache_capacity
+        # React to *committed* failures only — a churn rollback
+        # (connectivity-preserving probe) must not wipe bystander caches.
+        register = getattr(self.net, "add_failure_listener", None)
+        if register is not None:
+            register(self.evict_bystander_state)
         # owner stores: node -> key -> entry
         self._stores: Dict[int, Dict[Hashable, StoredEntry]] = {}
         # bystander caches: node -> LRU of key -> (value, version)

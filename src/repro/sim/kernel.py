@@ -199,5 +199,21 @@ class PeriodicTimer:
             self._event.cancel()
 
     @property
+    def interval(self) -> float:
+        return self._interval
+
+    def set_interval(self, interval: float) -> None:
+        """Change the period; takes effect from the next (re)scheduling.
+
+        Callbacks that adjust their own timer (e.g. the churn-adaptive
+        refresh daemon re-deriving its interval each round) see the new
+        period applied to the very next tick, because the timer
+        reschedules after the callback returns.
+        """
+        if interval <= 0:
+            raise SimulationError("timer interval must be positive")
+        self._interval = interval
+
+    @property
     def active(self) -> bool:
         return not self._stopped

@@ -60,13 +60,17 @@ def apply_churn(
     for victim in candidates:
         if len(outcome.failed) >= target_failures:
             break
-        net.fail_node(victim)
+        # Tentative failure: geometry updates so is_connected() sees the
+        # survivor graph, but the fail event / metrics / state-eviction
+        # listeners only run once the failure commits.
+        net.fail_node(victim, commit=False)
         if keep_connected and not net.is_connected():
             # Undo by re-joining the same node id is not possible (crash
             # semantics); instead re-admit it as itself via mobility state.
             net.revive_node(victim)
             outcome.skipped_for_connectivity += 1
             continue
+        net.commit_failure(victim)
         outcome.failed.append(victim)
 
     target_joins = int(round(join_fraction * n0))
@@ -105,21 +109,34 @@ class ChurnProcess:
         self.failures = 0
         self.joins = 0
         self._stopped = False
+        self._pending_failure = None
+        self._pending_join = None
         if failure_rate > 0:
             self._schedule_failure()
         if join_rate > 0:
             self._schedule_join()
 
     def stop(self) -> None:
+        """Halt the process and cancel queued callbacks.
+
+        Without the cancellation, the already-scheduled failure/join
+        events would sit in the sim queue firing no-ops (and keeping the
+        network reachable) for the rest of the run.
+        """
         self._stopped = True
+        for event in (self._pending_failure, self._pending_join):
+            if event is not None:
+                event.cancel()
+        self._pending_failure = None
+        self._pending_join = None
 
     def _schedule_failure(self) -> None:
         delay = self.rng.expovariate(self.failure_rate)
-        self.net.sim.schedule(delay, self._do_failure)
+        self._pending_failure = self.net.sim.schedule(delay, self._do_failure)
 
     def _schedule_join(self) -> None:
         delay = self.rng.expovariate(self.join_rate)
-        self.net.sim.schedule(delay, self._do_join)
+        self._pending_join = self.net.sim.schedule(delay, self._do_join)
 
     def _do_failure(self) -> None:
         if self._stopped:
@@ -128,10 +145,12 @@ class ChurnProcess:
                       if v not in self.protected]
         if len(candidates) > 1:
             victim = self.rng.choice(candidates)
-            self.net.fail_node(victim)
-            if self.keep_connected and not self.net.is_connected():
-                self.net.revive_node(victim)
+            net = self.net
+            net.fail_node(victim, commit=False)
+            if self.keep_connected and not net.is_connected():
+                net.revive_node(victim)
             else:
+                net.commit_failure(victim)
                 self.failures += 1
         self._schedule_failure()
 

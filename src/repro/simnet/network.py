@@ -160,6 +160,14 @@ class SimNetwork:
         self._metric_broadcasts = self.metrics.counter("net.broadcasts")
         self._metric_routing = self.metrics.counter("net.routing")
 
+        # Churn commit/rollback state: failures can be applied tentatively
+        # (geometry updated so connectivity checks see them) and only
+        # *committed* — trace event, churn metrics, service-state eviction
+        # listeners — once the churn driver decides they stick.
+        self._tentative_failures: Set[int] = set()
+        self._failure_listeners: List = []
+        self._heartbeat_suspended = False
+
         placement_rng = self.rngs.stream("placement")
         if config.mobility == "waypoint":
             self._model = RandomWaypoint(
@@ -327,26 +335,69 @@ class SimNetwork:
     def is_alive(self, node_id: int) -> bool:
         return node_id in self._alive
 
-    def fail_node(self, node_id: int) -> None:
-        """Crash/leave: the node stops participating immediately."""
+    def add_failure_listener(self, fn) -> None:
+        """Register ``fn(node_id)`` to run when a failure *commits*.
+
+        Listeners model service-state reactions to a node really going
+        away (e.g. :meth:`LocationService.evict_bystander_state`).  They
+        never fire for tentative failures that get rolled back, so a
+        connectivity-preserving churn probe leaves caches untouched.
+        """
+        self._failure_listeners.append(fn)
+
+    def fail_node(self, node_id: int, commit: bool = True) -> None:
+        """Crash/leave: the node stops participating immediately.
+
+        With ``commit=False`` the failure is *tentative*: geometry and
+        neighbor state update (so ``is_connected`` sees the would-be
+        survivor graph) but no trace event, churn metric, or failure
+        listener fires until :meth:`commit_failure` — and
+        :meth:`revive_node` rolls the whole thing back silently.
+        """
         if node_id not in self._alive:
             return
         with PROFILER.phase("churn.update"):
             self._alive.discard(node_id)
             self._evict_from_geometry(node_id)
             self._known_neighbors.pop(node_id, None)
+        if commit:
+            self._commit_failure_effects(node_id)
+        else:
+            self._tentative_failures.add(node_id)
+
+    def commit_failure(self, node_id: int) -> None:
+        """Make a tentative failure stick (event + metrics + listeners)."""
+        if node_id in self._tentative_failures:
+            self._tentative_failures.discard(node_id)
+            self._commit_failure_effects(node_id)
+
+    def _commit_failure_effects(self, node_id: int) -> None:
+        self.metrics.counter("churn.failures").inc()
         self.record_event("churn", action="fail", node=node_id)
+        for fn in self._failure_listeners:
+            fn(node_id)
 
     def revive_node(self, node_id: int) -> None:
-        """Undo a failure (connectivity-preserving churn rollback)."""
+        """Undo a failure.
+
+        Rolling back a *tentative* failure is silent (the failure was
+        never observable); reviving a committed failure emits the
+        compensating ``churn action=revive`` event so offline summaries
+        can reconcile the earlier ``fail``.
+        """
         if node_id in self._alive:
             return
+        tentative = node_id in self._tentative_failures
         with PROFILER.phase("churn.update"):
             if node_id not in self.mobility:
                 self.mobility.add_node(node_id, t=self.sim.now)
             self._alive.add(node_id)
             self._admit_to_geometry(node_id)
-        self.record_event("churn", action="revive", node=node_id)
+        if tentative:
+            self._tentative_failures.discard(node_id)
+        else:
+            self.metrics.counter("churn.revives").inc()
+            self.record_event("churn", action="revive", node=node_id)
 
     def join_node(self, position: Optional[Point] = None) -> int:
         """A fresh node joins at a random (or given) position."""
@@ -359,6 +410,7 @@ class SimNetwork:
                 table = self._known_neighbors.get(other)
                 if table is not None and node_id not in table:
                     table.append(node_id)
+        self.metrics.counter("churn.joins").inc()
         self.record_event("churn", action="join", node=node_id)
         return node_id
 
@@ -456,7 +508,22 @@ class SimNetwork:
         """Last-heartbeat neighbor snapshot (stale under mobility)."""
         return list(self._known_neighbors.get(node_id, []))
 
+    def suspend_neighbor_refresh(self) -> None:
+        """Freeze heartbeat updates (membership-staleness injection).
+
+        The periodic timer keeps firing but becomes a no-op, so nodes
+        keep routing on their last-heartbeat neighbor snapshot.
+        """
+        self._heartbeat_suspended = True
+
+    def resume_neighbor_refresh(self) -> None:
+        """Re-enable heartbeat updates and refresh immediately."""
+        self._heartbeat_suspended = False
+        self._refresh_neighbor_tables()
+
     def _refresh_neighbor_tables(self) -> None:
+        if self._heartbeat_suspended:
+            return
         with PROFILER.phase("neighbor.heartbeat"):
             if self.config.neighbor_backend == "vectorized":
                 tables = self._neighbor_tables()

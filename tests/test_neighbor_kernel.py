@@ -122,6 +122,59 @@ class TestBackendEquivalence:
         # Dead node as the query origin: both answer from its last position.
         assert py.true_neighbors(3) == vec.true_neighbors(3)
 
+    def test_interleaved_fail_revive_join(self):
+        # Revival must restore the exact same incremental state on both
+        # backends, including a node that dies and comes back between
+        # joins and other failures.
+        py, vec = make_pair(seed=17)
+        script = [("fail", 4), ("fail", 22), ("revive", 4), ("join", None),
+                  ("fail", 40), ("revive", 22), ("join", None), ("fail", 4),
+                  ("revive", 40), ("revive", 4)]
+        for op, node in script:
+            for net in (py, vec):
+                if op == "fail":
+                    net.fail_node(node)
+                elif op == "revive":
+                    net.revive_node(node)
+                else:
+                    net.join_node()
+            assert py.alive_nodes() == vec.alive_nodes()
+            assert tables_of(py) == tables_of(vec)
+        # Final state equals a fresh python network replaying the script.
+        fresh = SimNetwork(NetworkConfig(n=60, avg_degree=10, seed=17,
+                                         require_connected=False,
+                                         neighbor_backend="python"))
+        for op, node in script:
+            if op == "fail":
+                fresh.fail_node(node)
+            elif op == "revive":
+                fresh.revive_node(node)
+            else:
+                fresh.join_node()
+        assert tables_of(vec) == tables_of(fresh)
+
+    def test_revive_restores_tables_exactly(self):
+        py, vec = make_pair(seed=19)
+        before_py, before_vec = tables_of(py), tables_of(vec)
+        for victim in (7, 33):
+            py.fail_node(victim)
+            vec.fail_node(victim)
+        for victim in (33, 7):
+            py.revive_node(victim)
+            vec.revive_node(victim)
+        assert tables_of(py) == before_py
+        assert tables_of(vec) == before_vec
+
+    def test_tentative_fail_and_rollback_keep_parity(self):
+        py, vec = make_pair(seed=23)
+        for net in (py, vec):
+            net.fail_node(9, commit=False)
+        assert tables_of(py) == tables_of(vec)
+        for net in (py, vec):
+            net.revive_node(9)  # silent rollback
+        assert tables_of(py) == tables_of(vec)
+        assert py.is_alive(9) and vec.is_alive(9)
+
     def test_waypoint_churn_mix(self):
         py, vec = make_pair(mobility="waypoint", max_speed=10.0, seed=11)
         py.advance(2.5)

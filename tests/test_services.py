@@ -312,3 +312,69 @@ class TestRefreshDaemon:
         receipt = svc.lookup(net.random_alive_node(rng), "k")
         assert receipt.found
         daemon.stop()
+
+    def test_lost_never_negative_when_keys_advertised_mid_round(self):
+        # Regression: a key advertised between the round's key snapshot
+        # and readvertise_all used to push the lost count negative.
+        net, bq = build()
+        svc = LocationService(bq)
+        svc.advertise(0, "a", "v")
+        daemon = RefreshDaemon(svc, interval=1000.0)
+        original = svc.readvertise_all
+
+        def advertise_then_refresh():
+            svc.advertise(1, "b", "w")
+            return original()
+
+        svc.readvertise_all = advertise_then_refresh
+        daemon.refresh_now()
+        assert daemon.stats.lost == 0
+        assert daemon.stats.readvertised == 2
+        daemon.stop()
+
+    def test_stuck_key_counted_lost_once_until_recovery(self):
+        # Regression: back-to-back rounds re-counted the same dead key.
+        net, bq = build()
+        svc = LocationService(bq)
+        receipt = svc.advertise(0, "k", "v")
+        daemon = RefreshDaemon(svc, interval=1000.0)
+        for node in {0, *receipt.quorum}:
+            net.fail_node(node)
+        assert daemon.refresh_now() == 0
+        assert daemon.stats.lost == 1
+        daemon.refresh_now()
+        assert daemon.stats.lost == 1
+        daemon.stop()
+
+    def test_adaptive_rederives_interval_from_observed_churn(self):
+        net, bq = build(seed=6)
+        svc = LocationService(bq)
+        svc.advertise(0, "k", "v")
+        daemon = RefreshDaemon(svc, interval=30.0, epsilon=0.05,
+                               min_intersection=0.9, adaptive=True,
+                               min_interval=5.0, max_interval=500.0)
+        apply_churn(net, fail_fraction=0.1, rng=random.Random(1),
+                    keep_connected=True, protected={0})
+        net.advance(31.0)
+        assert daemon.stats.rounds == 1
+        assert daemon.stats.interval_updates >= 1
+        assert daemon.interval != 30.0
+        assert 5.0 <= daemon.interval <= 500.0
+        daemon.stop()
+
+    def test_adaptive_without_churn_keeps_interval(self):
+        net, bq = build()
+        svc = LocationService(bq)
+        daemon = RefreshDaemon(svc, interval=10.0, epsilon=0.05,
+                               min_intersection=0.9, adaptive=True)
+        net.advance(11.0)
+        assert daemon.stats.rounds == 1
+        assert daemon.stats.interval_updates == 0
+        assert daemon.interval == 10.0
+        daemon.stop()
+
+    def test_adaptive_missing_parameters_rejected(self):
+        net, bq = build()
+        svc = LocationService(bq)
+        with pytest.raises(ValueError):
+            RefreshDaemon(svc, interval=10.0, adaptive=True)
