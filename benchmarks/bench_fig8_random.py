@@ -5,13 +5,30 @@ membership view size 2*sqrt(n); routing adds a dramatic extra overhead;
 lookup hit ratio reaches ~0.9 around |Ql| = 1.15*sqrt(n).
 """
 
-from conftest import FULL_SCALE, JOBS, N_KEYS, N_LOOKUPS, SIZES, record_result
+import json
+import math
+import time
 
+from conftest import (
+    BENCH_TIMINGS_PATH,
+    FULL_SCALE,
+    JOBS,
+    N_KEYS,
+    N_LOOKUPS,
+    SIZES,
+    record_result,
+)
+
+from repro.core.strategies import RandomStrategy
 from repro.experiments import (
     format_table,
     random_advertise_cost,
     random_lookup_hit_ratio,
+    run_replicated,
+    scenario_config,
 )
+from repro.experiments.common import make_membership, run_scenario
+from repro.experiments.montecarlo import scenario_stats_equal
 
 Q_FACTORS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0) if FULL_SCALE else (0.5, 1.0, 2.0, 2.5)
 L_FACTORS = (0.25, 0.5, 0.75, 1.0, 1.15, 1.5, 2.0) if FULL_SCALE else \
@@ -62,3 +79,79 @@ def test_fig8_random_lookup_hit_ratio(benchmark, record):
                       if abs(p.lookup_size_factor - 1.15) < 0.01)
         # Lemma 5.1 validation: ~0.9 intersection at 1.15 sqrt(n).
         assert at_115.hit_ratio >= 0.8
+
+
+# -- Monte-Carlo replication engine: batched vs sequential -------------------
+
+REPLICATION_REPS = 32
+#: Bigger than the sweep default: route sharing amortizes better when the
+#: per-replica BFS work is substantial, and the 5x gate needs headroom.
+REPLICATION_N = 800 if FULL_SCALE else 300
+
+
+def _replica_workload(n):
+    root = math.sqrt(n)
+    qa, ql = round(1.5 * root), round(1.15 * root)
+
+    def run(net, rep_seed):
+        strategy = RandomStrategy(make_membership(net, "random"))
+        return run_scenario(net, strategy, strategy, advertise_size=qa,
+                            lookup_size=ql, n_keys=N_KEYS,
+                            n_lookups=N_LOOKUPS, seed=rep_seed)
+    return run
+
+
+def test_fig8_replication_backend_speedup(record):
+    """R=32 replica sweep: batched backend must match the sequential loop
+    replica-for-replica and beat it by >= 5x wall-clock."""
+    n = REPLICATION_N
+    cfg = scenario_config(n, seed=8)
+    run = _replica_workload(n)
+
+    start = time.perf_counter()
+    seq = run_replicated(cfg, run, reps=REPLICATION_REPS,
+                         backend="sequential", base_seed=8)
+    seq_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bat = run_replicated(cfg, run, reps=REPLICATION_REPS,
+                         backend="batched", base_seed=8)
+    bat_s = time.perf_counter() - start
+
+    assert seq.seeds == bat.seeds
+    assert all(scenario_stats_equal(a, b)
+               for a, b in zip(seq.stats, bat.stats))
+
+    speedup = seq_s / bat_s
+    entry = {
+        "n": n,
+        "reps": REPLICATION_REPS,
+        "n_keys": N_KEYS,
+        "n_lookups": N_LOOKUPS,
+        "sequential_seconds": round(seq_s, 3),
+        "batched_seconds": round(bat_s, 3),
+        "speedup": round(speedup, 2),
+        "statistic_identical": True,
+    }
+    # Merge into BENCH_simnet.json now; the session-finish hook re-reads
+    # the file before writing timings, so this block survives.
+    payload = {}
+    if BENCH_TIMINGS_PATH.exists():
+        try:
+            payload = json.loads(BENCH_TIMINGS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            payload = {}
+    payload["replication"] = entry
+    BENCH_TIMINGS_PATH.write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")
+    record("fig8_replication", format_table(
+        ["n", "reps", "seq (s)", "batched (s)", "speedup"],
+        [(n, REPLICATION_REPS, entry["sequential_seconds"],
+          entry["batched_seconds"], entry["speedup"])]))
+    hit = bat.mean("hit_ratio")
+    pm = bat.halfwidth("hit_ratio")
+    print(f"\n[replication] R={REPLICATION_REPS} n={n}: sequential "
+          f"{seq_s:.2f}s, batched {bat_s:.2f}s ({speedup:.1f}x), "
+          f"hit ratio {hit:.3f}±{pm:.3f}")
+    assert speedup >= 5.0, (
+        f"batched replication only {speedup:.1f}x faster than sequential")

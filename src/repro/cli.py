@@ -26,7 +26,21 @@ from typing import Callable, Dict, List
 
 import repro.experiments as ex
 from repro.analysis import figure3_table, figure6_table
-from repro.experiments import format_table
+from repro.experiments import format_pm, format_table
+
+
+def _rep_kwargs(args) -> dict:
+    """Replication options shared by every replication-aware figure."""
+    return {
+        "reps": getattr(args, "reps", 1),
+        "rep_backend": getattr(args, "rep_backend", None),
+        "ci_target": getattr(args, "ci", None),
+    }
+
+
+def _pm(point, mean_value: float, metric: str) -> str:
+    """``mean ± half-width`` cell for a replicated sweep point."""
+    return format_pm(mean_value, point.ci.get(metric))
 
 
 def _fig3(args) -> str:
@@ -76,28 +90,37 @@ def _fig7(args) -> str:
 
 
 def _fig8(args) -> str:
+    rep = _rep_kwargs(args)
     adv = ex.random_advertise_cost(sizes=(args.n,), n_keys=args.keys,
-                                   jobs=args.jobs)
+                                   jobs=args.jobs, **rep)
     look = ex.random_lookup_hit_ratio(sizes=(args.n,), n_keys=args.keys,
-                                      n_lookups=args.lookups, jobs=args.jobs)
+                                      n_lookups=args.lookups, jobs=args.jobs,
+                                      **rep)
     out = "Figure 8(a,b) (RANDOM advertise cost)\n" + format_table(
         ["n", "|Qa|", "msgs", "routing", "latency"],
-        [(p.n, p.quorum_size, p.avg_messages, p.avg_routing, p.avg_latency)
+        [(p.n, p.quorum_size,
+          _pm(p, p.avg_messages, "avg_advertise_messages"),
+          _pm(p, p.avg_routing, "avg_advertise_routing"),
+          _pm(p, p.avg_latency, "avg_advertise_latency"))
          for p in adv])
     out += "\n\nFigure 8(c) (RANDOM lookup hit ratio)\n" + format_table(
         ["n", "|Ql|", "factor", "hit", "msgs", "latency"],
-        [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
-          p.avg_messages, p.avg_latency) for p in look])
+        [(p.n, p.lookup_size, p.lookup_size_factor,
+          _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages"),
+          _pm(p, p.avg_latency, "avg_lookup_latency")) for p in look])
     return out
 
 
 def _fig9(args) -> str:
     points = ex.random_opt_lookup(n=args.n, mobility=args.mobility,
                                   n_keys=args.keys, n_lookups=args.lookups,
-                                  jobs=args.jobs)
+                                  jobs=args.jobs, **_rep_kwargs(args))
     return "Figure 9 (RANDOM-OPT lookup)\n" + format_table(
         ["n", "X", "hit", "msgs", "routing", "probed"],
-        [(p.n, p.initiations, p.hit_ratio, p.avg_messages, p.avg_routing,
+        [(p.n, p.initiations, _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages"),
+          _pm(p, p.avg_routing, "avg_lookup_routing"),
           p.avg_quorum_size) for p in points])
 
 
@@ -106,13 +129,16 @@ def _fig10(args) -> str:
 
     points = ex.unique_path_lookup(n=args.n, mobility=args.mobility,
                                    n_keys=args.keys, n_lookups=args.lookups,
-                                   jobs=args.jobs)
+                                   jobs=args.jobs, **_rep_kwargs(args))
     table = format_table(
         ["n", "|Ql|", "factor", "hit", "msgs", "msgs(hit)", "msgs(miss)",
          "latency"],
-        [(p.n, p.lookup_size, p.lookup_size_factor, p.hit_ratio,
-          p.avg_messages, p.avg_messages_on_hit, p.avg_messages_on_miss,
-          p.avg_latency) for p in points])
+        [(p.n, p.lookup_size, p.lookup_size_factor,
+          _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages"),
+          _pm(p, p.avg_messages_on_hit, "avg_lookup_messages_on_hit"),
+          _pm(p, p.avg_messages_on_miss, "avg_lookup_messages_on_miss"),
+          _pm(p, p.avg_latency, "avg_lookup_latency")) for p in points])
     chart = render_series(
         {"hit ratio": [(p.lookup_size_factor, p.hit_ratio) for p in points]},
         x_label="|Ql| / sqrt(n)", y_label="hit ratio")
@@ -122,45 +148,56 @@ def _fig10(args) -> str:
 def _fig11(args) -> str:
     points = ex.flooding_lookup(n=args.n, mobility=args.mobility,
                                 n_keys=args.keys, n_lookups=args.lookups,
-                                jobs=args.jobs)
+                                jobs=args.jobs, **_rep_kwargs(args))
     return "Figure 11 (FLOODING lookup)\n" + format_table(
         ["n", "ttl", "hit", "msgs", "coverage"],
-        [(p.n, p.ttl, p.hit_ratio, p.avg_messages, p.avg_coverage)
+        [(p.n, p.ttl, _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages"), p.avg_coverage)
          for p in points])
 
 
 def _fig12(args) -> str:
     points = ex.path_x_path(n=args.n, n_keys=args.keys,
-                            n_lookups=args.lookups, jobs=args.jobs)
+                            n_lookups=args.lookups, jobs=args.jobs,
+                            **_rep_kwargs(args))
     return "Figure 12 (UNIQUE-PATH x UNIQUE-PATH)\n" + format_table(
         ["n", "|Q|/side", "combined/n", "hit", "adv msgs", "lookup msgs"],
-        [(p.n, p.quorum_size, p.combined_fraction, p.hit_ratio,
-          p.avg_advertise_messages, p.avg_lookup_messages) for p in points])
+        [(p.n, p.quorum_size, p.combined_fraction,
+          _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.avg_advertise_messages, "avg_advertise_messages"),
+          _pm(p, p.avg_lookup_messages, "avg_lookup_messages"))
+         for p in points])
 
 
 def _fig13(args) -> str:
     points = ex.mobility_sweep(n=args.n, local_repair=False,
                                n_keys=args.keys, n_lookups=args.lookups,
-                               jobs=args.jobs)
+                               jobs=args.jobs, **_rep_kwargs(args))
     return "Figure 13 (fast mobility, no repair)\n" + format_table(
         ["speed", "hit", "intersection", "drops", "msgs"],
-        [(p.max_speed, p.hit_ratio, p.intersection_ratio,
-          p.reply_drop_ratio, p.avg_messages) for p in points])
+        [(p.max_speed, _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.intersection_ratio, "intersection_ratio"),
+          _pm(p, p.reply_drop_ratio, "reply_drop_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages")) for p in points])
 
 
 def _fig14(args) -> str:
+    rep = _rep_kwargs(args)
     points = ex.mobility_sweep(n=args.n, local_repair=True,
                                n_keys=args.keys, n_lookups=args.lookups,
-                               jobs=args.jobs)
+                               jobs=args.jobs, **rep)
     churn = ex.churn_sweep(n=args.n, n_keys=args.keys,
-                           n_lookups=args.lookups, jobs=args.jobs)
+                           n_lookups=args.lookups, jobs=args.jobs, **rep)
     out = "Figure 14(a-d) (reply-path repair)\n" + format_table(
         ["speed", "hit", "drops", "msgs", "routing"],
-        [(p.max_speed, p.hit_ratio, p.reply_drop_ratio, p.avg_messages,
-          p.avg_routing) for p in points])
+        [(p.max_speed, _pm(p, p.hit_ratio, "hit_ratio"),
+          _pm(p, p.reply_drop_ratio, "reply_drop_ratio"),
+          _pm(p, p.avg_messages, "avg_lookup_messages"),
+          _pm(p, p.avg_routing, "avg_lookup_routing")) for p in points])
     out += "\n\nFigure 14(f) (churn)\n" + format_table(
         ["f", "hit", "analytic floor"],
-        [(p.churn_fraction, p.hit_ratio, p.analytic_floor) for p in churn])
+        [(p.churn_fraction, _pm(p, p.hit_ratio, "hit_ratio"),
+          p.analytic_floor) for p in churn])
     return out
 
 
@@ -257,6 +294,9 @@ ENV_VARS = {
     "REPRO_JOBS": "default parallel sweep workers",
     "REPRO_MANIFEST_DIR": "directory for per-sweep provenance manifests",
     "REPRO_NEIGHBOR_BACKEND": "neighbor engine: vectorized or reference",
+    "REPRO_REP_BACKEND": "Monte-Carlo replication engine: batched or "
+                         "sequential (statistic-identical; batched is "
+                         "faster)",
 }
 
 OBS_COMMANDS = {
@@ -341,6 +381,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="initial epsilon (fig7)")
         p.add_argument("--mobility", choices=("static", "waypoint"),
                        default="static")
+        p.add_argument("--reps", type=int, default=1,
+                       help="Monte-Carlo replicas per sweep point; with "
+                            "reps > 1 tables report mean±CI (default 1, "
+                            "which reproduces the historical single-run "
+                            "numbers exactly)")
+        p.add_argument("--ci", type=float, default=None, metavar="DELTA",
+                       help="sequential stopping: add replicas (beyond "
+                            "--reps, up to 8x) until the hit-ratio CI "
+                            "half-width drops below DELTA")
+        p.add_argument("--rep-backend", choices=("batched", "sequential"),
+                       default=None,
+                       help="replication engine (default: REPRO_REP_BACKEND "
+                            "env var, else batched; both backends produce "
+                            "identical statistics)")
         p.add_argument("--trace", metavar="PATH", default=None,
                        help="stream simulation events as JSONL to PATH "
                             "(with --jobs > 1, pool workers append to the "
@@ -427,7 +481,7 @@ def _write_figure_manifest(args, wall_time_s: float) -> str:
     params = {
         key: getattr(args, key)
         for key in ("n", "keys", "lookups", "walks", "trials", "epsilon",
-                    "mobility")
+                    "mobility", "reps", "ci", "rep_backend")
         if getattr(args, key, None) is not None
     }
     manifest = collect_manifest(

@@ -2,10 +2,20 @@
 
 from repro.experiments.common import (
     ScenarioStats,
+    format_pm,
     format_table,
     make_membership,
     make_network,
     run_scenario,
+    scenario_config,
+)
+from repro.experiments.montecarlo import (
+    MetricEstimate,
+    ReplicationOutcome,
+    ReplicationPlan,
+    Welford,
+    run_replicated,
+    wilson_interval,
 )
 from repro.experiments.fig4_pct import (
     PctPoint,
@@ -72,8 +82,10 @@ from repro.experiments.fig15_16_summary import (
 )
 
 __all__ = [
-    "ScenarioStats", "format_table", "make_membership", "make_network",
-    "run_scenario",
+    "ScenarioStats", "format_pm", "format_table", "make_membership",
+    "make_network", "run_scenario", "scenario_config",
+    "MetricEstimate", "ReplicationOutcome", "ReplicationPlan", "Welford",
+    "run_replicated", "wilson_interval",
     "PctPoint", "measure_pct", "pct_by_density", "pct_by_network_size",
     "FloodPoint", "flooding_by_density", "flooding_by_size",
     "flooding_coverage",

@@ -120,11 +120,29 @@ def make_network(
     **overrides,
 ) -> SimNetwork:
     """Deployment with the paper's defaults (speed range 0.5..max m/s)."""
-    config = NetworkConfig(
+    return SimNetwork(scenario_config(
+        n, avg_degree=avg_degree, mobility=mobility, max_speed=max_speed,
+        seed=seed, **overrides))
+
+
+def scenario_config(
+    n: int,
+    avg_degree: float = 10.0,
+    mobility: str = "static",
+    max_speed: float = 2.0,
+    seed: int = 0,
+    **overrides,
+) -> NetworkConfig:
+    """The :func:`make_network` deployment as a config (not yet built).
+
+    The Monte-Carlo engine (:mod:`repro.experiments.montecarlo`) takes the
+    config rather than a network so its batched backend can own
+    construction and share geometry work across replicas.
+    """
+    return NetworkConfig(
         n=n, avg_degree=avg_degree, seed=seed, mobility=mobility,
         min_speed=0.5, max_speed=max_speed, **overrides,
     )
-    return SimNetwork(config)
 
 
 def make_membership(net: SimNetwork, kind: str = "random"):
@@ -250,3 +268,15 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3g}"
     return str(cell)
+
+
+def format_pm(mean: float, halfwidth: Optional[float]) -> str:
+    """Render ``mean ± half-width`` for figure tables.
+
+    With no defined CI (``reps=1`` yields NaN half-widths) the cell falls
+    back to the plain ``mean`` formatting, so single-replica output is
+    byte-identical to the historical tables.
+    """
+    if halfwidth is None or halfwidth != halfwidth:
+        return _fmt(float(mean))
+    return f"{_fmt(float(mean))}±{halfwidth:.2g}"

@@ -12,12 +12,17 @@ Also hosts the ablations for early halting and reply reduction.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.strategies import RandomStrategy, UniquePathStrategy
-from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.common import (
+    make_membership,
+    run_scenario,
+    scenario_config,
+)
+from repro.experiments.montecarlo import run_replicated
 from repro.experiments.runner import run_sweep
 
 
@@ -36,37 +41,48 @@ class UniquePathPoint:
     early_halting: bool
     reply_reduction: bool
     avg_latency: float = 0.0    # simulated seconds per lookup
+    reps: int = 1
+    ci: Dict[str, float] = field(default_factory=dict)  # metric -> half-width
 
 
 def _unique_path_point(factor, task_seed, *, n: int, mobility: str,
                        max_speed: float, advertise_factor: float,
                        n_keys: int, n_lookups: int, miss_fraction: float,
                        early_halting: bool, reply_reduction: bool,
-                       seed: int) -> UniquePathPoint:
+                       seed: int, reps: int = 1,
+                       rep_backend: Optional[str] = None,
+                       ci_target: Optional[float] = None) -> UniquePathPoint:
     """One lookup-factor sweep point (process-pool worker)."""
     qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
-    membership = make_membership(net, "random")
     ql = max(1, int(round(factor * math.sqrt(n))))
-    stats = run_scenario(
-        net,
-        advertise_strategy=RandomStrategy(membership),
-        lookup_strategy=UniquePathStrategy(
-            early_halting=early_halting,
-            reply_reduction=reply_reduction),
-        advertise_size=qa, lookup_size=ql,
-        n_keys=n_keys, n_lookups=n_lookups,
-        miss_fraction=miss_fraction, seed=seed + 1,
-    )
+
+    def run(net, rep_seed):
+        membership = make_membership(net, "random")
+        return run_scenario(
+            net,
+            advertise_strategy=RandomStrategy(membership),
+            lookup_strategy=UniquePathStrategy(
+                early_halting=early_halting,
+                reply_reduction=reply_reduction),
+            advertise_size=qa, lookup_size=ql,
+            n_keys=n_keys, n_lookups=n_lookups,
+            miss_fraction=miss_fraction, seed=rep_seed,
+        )
+
+    outcome = run_replicated(
+        scenario_config(n, mobility=mobility, max_speed=max_speed, seed=seed),
+        run, base_seed=seed, reps=reps, backend=rep_backend,
+        target_halfwidth=ci_target)
     return UniquePathPoint(
         n=n, mobility=mobility, lookup_size=ql,
         lookup_size_factor=factor,
-        hit_ratio=stats.hit_ratio,
-        avg_messages=stats.avg_lookup_messages,
-        avg_messages_on_hit=stats.avg_lookup_messages_on_hit,
-        avg_messages_on_miss=stats.avg_lookup_messages_on_miss,
+        hit_ratio=outcome.mean("hit_ratio"),
+        avg_messages=outcome.mean("avg_lookup_messages"),
+        avg_messages_on_hit=outcome.mean("avg_lookup_messages_on_hit"),
+        avg_messages_on_miss=outcome.mean("avg_lookup_messages_on_miss"),
         early_halting=early_halting, reply_reduction=reply_reduction,
-        avg_latency=stats.avg_lookup_latency)
+        avg_latency=outcome.mean("avg_lookup_latency"),
+        reps=outcome.reps, ci=outcome.ci_dict())
 
 
 def unique_path_lookup(
@@ -82,6 +98,9 @@ def unique_path_lookup(
     reply_reduction: bool = True,
     seed: int = 0,
     jobs: Optional[int] = None,
+    reps: int = 1,
+    rep_backend: Optional[str] = None,
+    ci_target: Optional[float] = None,
 ) -> List[UniquePathPoint]:
     """Hit ratio / message cost of UNIQUE-PATH lookup vs target size."""
     return run_sweep(
@@ -90,7 +109,8 @@ def unique_path_lookup(
                 max_speed=max_speed, advertise_factor=advertise_factor,
                 n_keys=n_keys, n_lookups=n_lookups,
                 miss_fraction=miss_fraction, early_halting=early_halting,
-                reply_reduction=reply_reduction, seed=seed),
+                reply_reduction=reply_reduction, seed=seed,
+                reps=reps, rep_backend=rep_backend, ci_target=ci_target),
         jobs=jobs, base_seed=seed, combine=lambda results: results[0])
 
 

@@ -9,12 +9,17 @@ granularity that makes FLOODING hard to tune.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.strategies import FloodingStrategy, RandomStrategy
-from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.common import (
+    make_membership,
+    run_scenario,
+    scenario_config,
+)
+from repro.experiments.montecarlo import run_replicated
 from repro.experiments.runner import run_sweep
 
 
@@ -28,28 +33,39 @@ class FloodingLookupPoint:
     hit_ratio: float
     avg_messages: float
     avg_coverage: float
+    reps: int = 1
+    ci: Dict[str, float] = field(default_factory=dict)  # metric -> half-width
 
 
 def _flooding_point(ttl, task_seed, *, n: int, mobility: str,
                     max_speed: float, advertise_factor: float, n_keys: int,
-                    n_lookups: int, seed: int) -> FloodingLookupPoint:
+                    n_lookups: int, seed: int, reps: int = 1,
+                    rep_backend: Optional[str] = None,
+                    ci_target: Optional[float] = None) -> FloodingLookupPoint:
     """One TTL sweep point (process-pool worker)."""
     qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
-    membership = make_membership(net, "random")
-    stats = run_scenario(
-        net,
-        advertise_strategy=RandomStrategy(membership),
-        lookup_strategy=FloodingStrategy(ttl=ttl),
-        advertise_size=qa, lookup_size=qa,  # size unused (fixed TTL)
-        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-    )
-    sizes = stats.lookup_quorum_sizes
+
+    def run(net, rep_seed):
+        membership = make_membership(net, "random")
+        return run_scenario(
+            net,
+            advertise_strategy=RandomStrategy(membership),
+            lookup_strategy=FloodingStrategy(ttl=ttl),
+            advertise_size=qa, lookup_size=qa,  # size unused (fixed TTL)
+            n_keys=n_keys, n_lookups=n_lookups, seed=rep_seed,
+        )
+
+    outcome = run_replicated(
+        scenario_config(n, mobility=mobility, max_speed=max_speed, seed=seed),
+        run, base_seed=seed, reps=reps, backend=rep_backend,
+        target_halfwidth=ci_target)
+    sizes = [size for s in outcome.stats for size in s.lookup_quorum_sizes]
     return FloodingLookupPoint(
         n=n, mobility=mobility, ttl=ttl,
-        hit_ratio=stats.hit_ratio,
-        avg_messages=stats.avg_lookup_messages,
-        avg_coverage=sum(sizes) / len(sizes) if sizes else 0.0)
+        hit_ratio=outcome.mean("hit_ratio"),
+        avg_messages=outcome.mean("avg_lookup_messages"),
+        avg_coverage=sum(sizes) / len(sizes) if sizes else 0.0,
+        reps=outcome.reps, ci=outcome.ci_dict())
 
 
 def flooding_lookup(
@@ -62,11 +78,15 @@ def flooding_lookup(
     n_lookups: int = 40,
     seed: int = 0,
     jobs: Optional[int] = None,
+    reps: int = 1,
+    rep_backend: Optional[str] = None,
+    ci_target: Optional[float] = None,
 ) -> List[FloodingLookupPoint]:
     """Hit ratio / message cost of FLOODING lookup vs TTL."""
     return run_sweep(
         list(ttls),
         partial(_flooding_point, n=n, mobility=mobility, max_speed=max_speed,
                 advertise_factor=advertise_factor, n_keys=n_keys,
-                n_lookups=n_lookups, seed=seed),
+                n_lookups=n_lookups, seed=seed, reps=reps,
+                rep_backend=rep_backend, ci_target=ci_target),
         jobs=jobs, base_seed=seed, combine=lambda results: results[0])

@@ -9,12 +9,13 @@ RANDOM x UNIQUE-PATH mix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.strategies import UniquePathStrategy
-from repro.experiments.common import make_network, run_scenario
+from repro.experiments.common import run_scenario, scenario_config
+from repro.experiments.montecarlo import run_replicated
 from repro.experiments.runner import run_sweep
 
 
@@ -29,26 +30,37 @@ class PathPathPoint:
     hit_ratio: float
     avg_advertise_messages: float
     avg_lookup_messages: float
+    reps: int = 1
+    ci: Dict[str, float] = field(default_factory=dict)  # metric -> half-width
 
 
 def _path_path_point(frac, task_seed, *, n: int, n_keys: int, n_lookups: int,
-                     mobility: str, seed: int) -> PathPathPoint:
+                     mobility: str, seed: int, reps: int = 1,
+                     rep_backend: Optional[str] = None,
+                     ci_target: Optional[float] = None) -> PathPathPoint:
     """One size-fraction sweep point (process-pool worker)."""
     q = max(2, int(round(frac * n)))
-    net = make_network(n, mobility=mobility, seed=seed)
-    stats = run_scenario(
-        net,
-        advertise_strategy=UniquePathStrategy(),
-        lookup_strategy=UniquePathStrategy(),
-        advertise_size=q, lookup_size=q,
-        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-    )
+
+    def run(net, rep_seed):
+        return run_scenario(
+            net,
+            advertise_strategy=UniquePathStrategy(),
+            lookup_strategy=UniquePathStrategy(),
+            advertise_size=q, lookup_size=q,
+            n_keys=n_keys, n_lookups=n_lookups, seed=rep_seed,
+        )
+
+    outcome = run_replicated(
+        scenario_config(n, mobility=mobility, seed=seed), run,
+        base_seed=seed, reps=reps, backend=rep_backend,
+        target_halfwidth=ci_target)
     return PathPathPoint(
         n=n, quorum_size=q, combined_size=2 * q,
         combined_fraction=2 * q / n,
-        hit_ratio=stats.hit_ratio,
-        avg_advertise_messages=stats.avg_advertise_messages,
-        avg_lookup_messages=stats.avg_lookup_messages)
+        hit_ratio=outcome.mean("hit_ratio"),
+        avg_advertise_messages=outcome.mean("avg_advertise_messages"),
+        avg_lookup_messages=outcome.mean("avg_lookup_messages"),
+        reps=outcome.reps, ci=outcome.ci_dict())
 
 
 def path_x_path(
@@ -59,10 +71,14 @@ def path_x_path(
     mobility: str = "static",
     seed: int = 0,
     jobs: Optional[int] = None,
+    reps: int = 1,
+    rep_backend: Optional[str] = None,
+    ci_target: Optional[float] = None,
 ) -> List[PathPathPoint]:
     """Hit ratio vs per-quorum size (as a fraction of n) for UP x UP."""
     return run_sweep(
         list(size_fractions),
         partial(_path_path_point, n=n, n_keys=n_keys, n_lookups=n_lookups,
-                mobility=mobility, seed=seed),
+                mobility=mobility, seed=seed, reps=reps,
+                rep_backend=rep_backend, ci_target=ci_target),
         jobs=jobs, base_seed=seed, combine=lambda results: results[0])

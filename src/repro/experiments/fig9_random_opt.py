@@ -10,12 +10,17 @@ routing overhead increase.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.strategies import RandomOptStrategy, RandomStrategy
-from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.experiments.common import (
+    make_membership,
+    run_scenario,
+    scenario_config,
+)
+from repro.experiments.montecarlo import run_replicated
 from repro.experiments.runner import run_sweep
 
 
@@ -30,29 +35,40 @@ class RandomOptPoint:
     avg_messages: float
     avg_routing: float
     avg_quorum_size: float       # en-route nodes actually probed
+    reps: int = 1
+    ci: Dict[str, float] = field(default_factory=dict)  # metric -> half-width
 
 
 def _random_opt_point(x, task_seed, *, n: int, mobility: str,
                       max_speed: float, advertise_factor: float, n_keys: int,
-                      n_lookups: int, seed: int) -> RandomOptPoint:
+                      n_lookups: int, seed: int, reps: int = 1,
+                      rep_backend: Optional[str] = None,
+                      ci_target: Optional[float] = None) -> RandomOptPoint:
     """One initiation-count sweep point (process-pool worker)."""
     qa = max(1, int(round(advertise_factor * math.sqrt(n))))
-    net = make_network(n, mobility=mobility, max_speed=max_speed, seed=seed)
-    membership = make_membership(net, "random")
-    stats = run_scenario(
-        net,
-        advertise_strategy=RandomStrategy(membership),
-        lookup_strategy=RandomOptStrategy(membership, initiations=x),
-        advertise_size=qa, lookup_size=qa,  # lookup size unused by OPT
-        n_keys=n_keys, n_lookups=n_lookups, seed=seed + 1,
-    )
-    sizes = stats.lookup_quorum_sizes
+
+    def run(net, rep_seed):
+        membership = make_membership(net, "random")
+        return run_scenario(
+            net,
+            advertise_strategy=RandomStrategy(membership),
+            lookup_strategy=RandomOptStrategy(membership, initiations=x),
+            advertise_size=qa, lookup_size=qa,  # lookup size unused by OPT
+            n_keys=n_keys, n_lookups=n_lookups, seed=rep_seed,
+        )
+
+    outcome = run_replicated(
+        scenario_config(n, mobility=mobility, max_speed=max_speed, seed=seed),
+        run, base_seed=seed, reps=reps, backend=rep_backend,
+        target_halfwidth=ci_target)
+    sizes = [size for s in outcome.stats for size in s.lookup_quorum_sizes]
     return RandomOptPoint(
         n=n, mobility=mobility, initiations=x,
-        hit_ratio=stats.hit_ratio,
-        avg_messages=stats.avg_lookup_messages,
-        avg_routing=stats.avg_lookup_routing,
-        avg_quorum_size=sum(sizes) / len(sizes) if sizes else 0.0)
+        hit_ratio=outcome.mean("hit_ratio"),
+        avg_messages=outcome.mean("avg_lookup_messages"),
+        avg_routing=outcome.mean("avg_lookup_routing"),
+        avg_quorum_size=sum(sizes) / len(sizes) if sizes else 0.0,
+        reps=outcome.reps, ci=outcome.ci_dict())
 
 
 def random_opt_lookup(
@@ -65,11 +81,15 @@ def random_opt_lookup(
     n_lookups: int = 60,
     seed: int = 0,
     jobs: Optional[int] = None,
+    reps: int = 1,
+    rep_backend: Optional[str] = None,
+    ci_target: Optional[float] = None,
 ) -> List[RandomOptPoint]:
     """Hit ratio / cost of RANDOM-OPT lookup vs the number of initiations."""
     return run_sweep(
         list(initiations),
         partial(_random_opt_point, n=n, mobility=mobility,
                 max_speed=max_speed, advertise_factor=advertise_factor,
-                n_keys=n_keys, n_lookups=n_lookups, seed=seed),
+                n_keys=n_keys, n_lookups=n_lookups, seed=seed,
+                reps=reps, rep_backend=rep_backend, ci_target=ci_target),
         jobs=jobs, base_seed=seed, combine=lambda results: results[0])

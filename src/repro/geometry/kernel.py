@@ -32,6 +32,127 @@ from repro.geometry.space import Point
 from repro.obs.profile import profiled
 
 
+def _cell_offsets(axis: int, torus: bool) -> Iterable[Tuple[int, int]]:
+    raw = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+    if torus and axis < 3:
+        # Wrapped offsets alias each other on tiny grids; deduplicate so
+        # a pair of nodes is considered exactly once.
+        return sorted({(dx % axis, dy % axis) for dx, dy in raw})
+    return raw
+
+
+@profiled("kernel.batch_pass_replicas")
+def batched_neighbor_tables(
+    ids: Sequence[int],
+    positions,
+    side: float,
+    radius: float,
+    torus: bool = False,
+) -> List[Dict[int, List[int]]]:
+    """Neighbor tables for R replica deployments in ONE cell-binning pass.
+
+    ``positions`` has shape ``(R, N, 2)`` (or ``(N, 2)`` for a single
+    replica); row ``i`` of every replica holds the position of node
+    ``ids[i]``.  Returns one ``{node_id: sorted neighbor ids}`` dict per
+    replica, each identical to what :meth:`NeighborKernel.neighbor_tables`
+    computes for that replica alone — the same binning, the same exact
+    ``np.hypot`` distance predicate — but amortizing the argsort /
+    searchsorted machinery over the whole replica batch.
+
+    Replicas never mix: each node is binned into a *composite* cell index
+    ``replica * cells + cell``, so the 3x3 candidate-pair expansion can
+    only pair rows of the same replica.
+    """
+    pos = np.asarray(positions, dtype=np.float64)
+    if pos.ndim == 2:
+        pos = pos[np.newaxis]
+    if pos.ndim != 3 or pos.shape[2] != 2:
+        raise ValueError(f"positions must be (R, N, 2); got {pos.shape}")
+    reps, n, _ = pos.shape
+    if len(ids) != n:
+        raise ValueError(f"{len(ids)} ids for {n} position rows")
+    if side <= 0 or radius <= 0:
+        raise ValueError("side and radius must be positive")
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    axis = max(1, int(math.floor(side / radius)))
+    cell_size = side / axis
+    if radius > cell_size * (1 + 1e-12):
+        raise ValueError(
+            f"query radius {radius} exceeds cell size {cell_size}")
+    if n == 0:
+        return [dict() for _ in range(reps)]
+    if n == 1:
+        return [{int(ids_arr[0]): []} for _ in range(reps)]
+
+    cells = axis * axis
+    flat = pos.reshape(reps * n, 2)
+    total_rows = reps * n
+    cx = np.minimum((flat[:, 0] / cell_size).astype(np.int64), axis - 1)
+    cy = np.minimum((flat[:, 1] / cell_size).astype(np.int64), axis - 1)
+    np.clip(cx, 0, axis - 1, out=cx)
+    np.clip(cy, 0, axis - 1, out=cy)
+    rep_of = np.repeat(np.arange(reps, dtype=np.int64), n)
+    cell = rep_of * cells + cx * axis + cy
+    order = np.argsort(cell, kind="stable")
+    sorted_cell = cell[order]
+
+    row_chunks: List[np.ndarray] = []
+    col_chunks: List[np.ndarray] = []
+    all_rows = np.arange(total_rows, dtype=np.intp)
+    for dx, dy in _cell_offsets(axis, torus):
+        if torus:
+            tx = (cx + dx) % axis
+            ty = (cy + dy) % axis
+            target = rep_of * cells + tx * axis + ty
+        else:
+            tx = cx + dx
+            ty = cy + dy
+            target = rep_of * cells + tx * axis + ty
+            invalid = (tx < 0) | (tx >= axis) | (ty < 0) | (ty >= axis)
+            target = np.where(invalid, np.int64(-1), target)
+        starts = np.searchsorted(sorted_cell, target, side="left")
+        ends = np.searchsorted(sorted_cell, target, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        rows = np.repeat(all_rows, counts)
+        bases = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        flat_idx = (np.arange(total, dtype=np.intp)
+                    - np.repeat(bases, counts)
+                    + np.repeat(starts, counts))
+        row_chunks.append(rows)
+        col_chunks.append(order[flat_idx])
+
+    if not row_chunks:
+        return [{int(i): [] for i in ids_arr} for _ in range(reps)]
+    rows = np.concatenate(row_chunks)
+    cols = np.concatenate(col_chunks)
+    if torus:
+        ddx = np.abs(flat[rows, 0] - flat[cols, 0])
+        ddy = np.abs(flat[rows, 1] - flat[cols, 1])
+        ddx = np.minimum(ddx, side - ddx)
+        ddy = np.minimum(ddy, side - ddy)
+    else:
+        ddx = flat[rows, 0] - flat[cols, 0]
+        ddy = flat[rows, 1] - flat[cols, 1]
+    keep = (np.hypot(ddx, ddy) <= radius) & (rows != cols)
+    rows = rows[keep]
+    cols = cols[keep]
+
+    neighbor_ids = ids_arr[cols % n]
+    by_row = np.lexsort((neighbor_ids, rows))
+    rows = rows[by_row]
+    neighbor_ids = neighbor_ids[by_row]
+    per_row = np.bincount(rows, minlength=total_rows)
+    chunks = np.split(neighbor_ids, np.cumsum(per_row)[:-1])
+    return [
+        {int(ids_arr[i]): [int(v) for v in chunks[r * n + i]]
+         for i in range(n)}
+        for r in range(reps)
+    ]
+
+
 class NeighborKernel:
     """Contiguous-array neighbor engine over integer node ids.
 
@@ -152,13 +273,7 @@ class NeighborKernel:
     # -- the batched all-pairs pass -----------------------------------------
 
     def _cell_offsets(self) -> Iterable[Tuple[int, int]]:
-        axis = self.cells_per_axis
-        raw = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
-        if self.torus and axis < 3:
-            # Wrapped offsets alias each other on tiny grids; deduplicate so
-            # a pair of nodes is considered exactly once.
-            return sorted({(dx % axis, dy % axis) for dx, dy in raw})
-        return raw
+        return _cell_offsets(self.cells_per_axis, self.torus)
 
     @profiled("kernel.batch_pass")
     def neighbor_tables(self, radius: Optional[float] = None) -> Dict[int, List[int]]:

@@ -77,6 +77,11 @@ class EventTrace:
         self._writer: Optional[IO[str]] = None
         self._jsonl_path: Optional[str] = None
         self._lock_writes = False
+        #: Ambient fields stamped onto every recorded event (payload
+        #: fields win on collision).  The replication engine sets
+        #: ``{"replica": r}`` here so multi-replica traces stay
+        #: attributable per replica.
+        self.context: Dict[str, Any] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -131,6 +136,8 @@ class EventTrace:
         """
         seq = self._seq
         self._seq += 1
+        if self.context:
+            fields = {**self.context, **fields}
         event = TraceEvent(seq=seq, t=t, kind=kind, fields=fields)
         if self._memory:
             self._events.append(event)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
@@ -75,6 +76,18 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of queued, non-cancelled events."""
         return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest pending event (``inf`` when idle).
+
+        Cancelled events at the head of the heap are drained lazily, so
+        the answer reflects events that will actually fire.  Used by the
+        bulk route-forwarding fast path to prove that no timer or churn
+        event can interleave with a multi-hop window.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else math.inf
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -18,6 +18,36 @@ import numpy as np
 def _derive_seed(master_seed: int, name: str) -> int:
     digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def derive_stream_seed(master_seed: int, name: str) -> int:
+    """Public seed derivation (same function the registry uses).
+
+    Lets callers pre-compute the seed of a named stream — e.g. the
+    Monte-Carlo engine reseeding per-replica workload streams — without
+    instantiating a registry.
+    """
+    return _derive_seed(master_seed, name)
+
+
+def replica_seeds(master_seed: int, count: int,
+                  name: str = "replicas") -> List[int]:
+    """``count`` independent replica seeds from one master seed.
+
+    Uses a counter-based Philox generator keyed off the master seed, so
+    the list is *prefix-stable*: ``replica_seeds(s, k)`` is a prefix of
+    ``replica_seeds(s, m)`` for ``k <= m``.  A sequential-stopping rule
+    can therefore extend a replication run without perturbing the seeds
+    (and hence the results) of the replicas already executed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+    key = _derive_seed(master_seed, f"philox:{name}")
+    gen = np.random.Generator(np.random.Philox(key=key))
+    return [int(s) for s in
+            gen.integers(0, 2**63, size=count, dtype=np.int64)]
 
 
 class RngRegistry:
@@ -48,6 +78,19 @@ class RngRegistry:
                 _derive_seed(self.master_seed, "np:" + name)
             )
         return self._np_streams[name]
+
+    def seed_stream(self, name: str, seed: int) -> random.Random:
+        """(Re)seed the named stdlib stream explicitly.
+
+        Replaces whatever generator the name held, so later ``stream(name)``
+        calls return a generator seeded with ``seed`` instead of the
+        registry-derived default.  The replication engine uses this to give
+        each replica its own workload randomness while the deployment
+        streams (placement, mobility, churn) stay tied to the network seed.
+        """
+        generator = random.Random(seed)
+        self._streams[name] = generator
+        return generator
 
     def fork(self, name: str, seed_offset: Optional[int] = None) -> "RngRegistry":
         """Derive a child registry (e.g. one per simulation run)."""

@@ -136,7 +136,8 @@ class SimNetwork:
 
     def __init__(self, config: NetworkConfig,
                  sim: Optional[Simulator] = None,
-                 positions: Optional[List[Point]] = None) -> None:
+                 positions: Optional[List[Point]] = None,
+                 defer_neighbor_init: bool = False) -> None:
         self.config = config
         self.sim = sim or Simulator()
         self.rngs = RngRegistry(config.seed)
@@ -207,6 +208,15 @@ class SimNetwork:
         self._route_cache: Dict[Tuple[int, int], List[int]] = {}
         self._drop_rng = self.rngs.stream("drops")
         self.energy = EnergyLedger()
+        # Batched-replication hooks: a shared per-deployment BFS memo and
+        # a counter identifying the current topology (bumped on every
+        # geometry mutation, so replicas that applied the same mutation
+        # sequence agree on the key).
+        self._route_oracle = None
+        self._oracle_version = 0
+        self._topo_version = 0
+        self._positions_given = positions is not None
+        self._deferred_init = defer_neighbor_init
 
         init_positions = positions
         if init_positions is None and config.mobility == "static":
@@ -217,10 +227,10 @@ class SimNetwork:
                 pos = positions[i]
             self._spawn_node(pos)
 
-        if config.require_connected and positions is None:
-            self._ensure_connected(placement_rng)
-
-        self._refresh_neighbor_tables()
+        if not defer_neighbor_init:
+            if config.require_connected and positions is None:
+                self._ensure_connected(placement_rng)
+            self._refresh_neighbor_tables()
         self._heartbeat = PeriodicTimer(
             self.sim, config.heartbeat_interval, self._refresh_neighbor_tables
         )
@@ -251,10 +261,43 @@ class SimNetwork:
             f"(n={self.config.n}, d_avg={self.config.avg_degree})"
         )
 
+    def finish_deferred_init(self,
+                             tables: Optional[Dict[int, List[int]]] = None
+                             ) -> None:
+        """Complete a ``defer_neighbor_init=True`` construction.
+
+        ``tables``, when given, must equal what :meth:`_neighbor_tables`
+        would compute for the current placement (the batched replication
+        engine obtains it from one replica-axis kernel pass); it is
+        adopted instead of recomputed.  Connectivity enforcement then
+        runs exactly as the normal constructor would — same placement
+        stream, same redraw sequence — so a deferred network is
+        indistinguishable from an eagerly-built one.
+        """
+        if not self._deferred_init:
+            return
+        if (tables is not None
+                and self.config.neighbor_backend == "vectorized"
+                and self.config.mobility == "static"):
+            ids = sorted(self._alive)
+            kernel = NeighborKernel(side=self.config.side,
+                                    radius=self.config.radio_range,
+                                    torus=self.config.torus)
+            kernel.rebuild(ids, [self.position(i) for i in ids])
+            self._kernel = kernel
+            self._tables = {node: list(nbrs) for node, nbrs in tables.items()}
+            self._tables_time = self.sim.now
+        if self.config.require_connected and not self._positions_given:
+            if not self.is_connected():
+                self._ensure_connected(self.rngs.stream("placement"))
+        self._refresh_neighbor_tables()
+        self._deferred_init = False
+
     # -- geometry caches -----------------------------------------------------
 
     def _invalidate_geometry(self) -> None:
         """Full invalidation: every position may have changed."""
+        self._topo_version += 1
         self._grid = None
         self._grid_time = -math.inf
         self._kernel = None
@@ -265,6 +308,7 @@ class SimNetwork:
 
     def _admit_to_geometry(self, node_id: int) -> None:
         """Incrementally add a node to whichever indexes are live."""
+        self._topo_version += 1
         self._pos_cache.pop(node_id, None)
         if self._grid is None and self._kernel is None and self._tables is None:
             return
@@ -290,6 +334,7 @@ class SimNetwork:
 
     def _evict_from_geometry(self, node_id: int) -> None:
         """Incrementally drop a node — no full rebuild for one churn event."""
+        self._topo_version += 1
         self._pos_cache.pop(node_id, None)
         if self._grid is not None:
             self._grid.remove(node_id)
@@ -300,6 +345,41 @@ class SimNetwork:
                 table = self._tables.get(other)
                 if table is not None and node_id in table:
                     table.remove(node_id)
+
+    # -- batched replication hooks ------------------------------------------
+
+    @property
+    def topology_version(self) -> int:
+        """Counts geometry mutations; replicas that applied the same
+        deterministic mutation sequence to the same placement agree."""
+        return self._topo_version
+
+    def attach_route_oracle(self, oracle) -> None:
+        """Serve route discovery from a shared per-deployment BFS memo.
+
+        Only meaningful for static-mobility networks (the oracle is
+        ignored under waypoint mobility, where topology is a function of
+        each replica's private clock).  The oracle must be shared only
+        among replicas of the *same* deployment; it verifies this.
+
+        The attachment covers the topology as it stands *now*: any later
+        geometry mutation (churn fail/join) silently disables the oracle
+        for this network, because workload-driven churn differs between
+        replicas — two replicas at the same version count would no longer
+        share a graph, so serving memoized trees across them is unsound.
+        """
+        self._route_oracle = oracle
+        self._oracle_version = self._topo_version
+
+    def detach_route_oracle(self) -> None:
+        self._route_oracle = None
+
+    def _oracle_tree(self, src: int):
+        """The shared BFS tree from ``src``, or None when not applicable."""
+        if (self._route_oracle is None or self.config.mobility != "static"
+                or self._topo_version != self._oracle_version):
+            return None
+        return self._route_oracle.tree(self, src)
 
     # -- observability -------------------------------------------------------
 
@@ -710,6 +790,17 @@ class SimNetwork:
         back along the path.
         """
         with PROFILER.phase("routing.discover"):
+            tree = self._oracle_tree(src)
+            if tree is not None:
+                path = tree.path_to(dst)
+                if path is None:
+                    cost = tree.count_within(self.config.n)
+                    self._account_routing(src, dst, cost, found=False)
+                    return None, cost
+                needed_ttl = len(path) - 1
+                cost = tree.count_within(needed_ttl) + needed_ttl
+                self._account_routing(src, dst, cost, found=True)
+                return path, cost
             path = self._bfs_path(src, dst)
             if path is None:
                 # Full-network flood that failed: everybody reachable
@@ -756,6 +847,49 @@ class SimNetwork:
             self._route_cache[(src, dst)] = path
         return path, cost
 
+    def _forward_fast(self, path: List[int]) -> Optional[int]:
+        """Bulk-forward along ``path``; returns the hop count, or None.
+
+        Only fires when the result is *provably identical* to the per-hop
+        ``one_hop_unicast`` loop: an attached route oracle (batched
+        replication mode), static positions, no random drops, tracing
+        off, every hop currently valid, and no simulation event pending
+        inside the forwarding window.  The target time is accumulated by
+        repeated addition — the same float operations the per-hop loop
+        performs — so clocks and latency statistics stay byte-identical.
+        """
+        if (self._route_oracle is None
+                or self.trace.enabled
+                or self.config.mobility != "static"
+                or self.config.drop_prob > 0
+                or self._tables is None):
+            return None
+        hops = len(path) - 1
+        if hops <= 0:
+            return None
+        latency = self.config.hop_latency
+        t = self.sim.now
+        for _ in range(hops):
+            t += latency
+        # An event at or before t (heartbeat, churn) would run *during*
+        # the per-hop loop; fall back to the exact path in that case.
+        if self.sim.next_event_time() <= t:
+            return None
+        tables = self._tables
+        alive = self._alive
+        for a, b in zip(path, path[1:]):
+            nbrs = tables.get(a)
+            if nbrs is None or b not in alive or b not in nbrs:
+                return None
+        self.counters["network"] += hops
+        self._metric_unicasts.inc(hops)
+        energy = self.energy
+        for a, b in zip(path, path[1:]):
+            energy.charge_unicast(a, b, bystanders=max(0, len(tables[a]) - 1))
+        if t > self.sim.now:
+            self.sim.run(until=t)
+        return hops
+
     def route(self, src: int, dst: int) -> RouteResult:
         """Send an application message via (cached) multi-hop routing."""
         if not self.is_alive(src):
@@ -781,6 +915,15 @@ class SimNetwork:
                 self._route_cache[(src, dst)] = path
                 cached = path
             # Forward hop by hop; mobility may break the path mid-flight.
+            fast_hops = self._forward_fast(cached)
+            if fast_hops is not None:
+                data_messages += fast_hops
+                self.counters["routing"] += routing_messages
+                self.record_event("route", src=src, dst=dst, ok=True,
+                                  hops=len(cached) - 1)
+                return RouteResult(success=True, path=cached,
+                                   data_messages=data_messages,
+                                   routing_messages=routing_messages)
             ok = True
             for a, b in zip(cached, cached[1:]):
                 sent = self.one_hop_unicast(a, b)
@@ -812,15 +955,33 @@ class SimNetwork:
             return RouteResult(success=False)
         if src == dst:
             return RouteResult(success=True, path=[src])
-        reached = self._hop_distances_capped(src, cap=max_hops)
-        routing_messages = len(reached)
-        self.counters["routing"] += routing_messages
-        self._account_routing(src, dst, routing_messages, found=dst in reached)
-        if dst not in reached:
-            return RouteResult(success=False, routing_messages=routing_messages)
-        path = self._bfs_path(src, dst)
+        tree = self._oracle_tree(src)
+        if tree is not None:
+            routing_messages = tree.count_within(max_hops)
+            found = tree.dist.get(dst, math.inf) <= max_hops
+            self.counters["routing"] += routing_messages
+            self._account_routing(src, dst, routing_messages, found=found)
+            if not found:
+                return RouteResult(success=False,
+                                   routing_messages=routing_messages)
+            path = tree.path_to(dst)
+        else:
+            reached = self._hop_distances_capped(src, cap=max_hops)
+            routing_messages = len(reached)
+            self.counters["routing"] += routing_messages
+            self._account_routing(src, dst, routing_messages,
+                                  found=dst in reached)
+            if dst not in reached:
+                return RouteResult(success=False,
+                                   routing_messages=routing_messages)
+            path = self._bfs_path(src, dst)
         if path is None or len(path) - 1 > max_hops:
             return RouteResult(success=False, routing_messages=routing_messages)
+        fast_hops = self._forward_fast(path)
+        if fast_hops is not None:
+            return RouteResult(success=True, path=path,
+                               data_messages=fast_hops,
+                               routing_messages=routing_messages)
         data_messages = 0
         for a, b in zip(path, path[1:]):
             data_messages += 1

@@ -140,6 +140,7 @@ class TestFigureDrivers:
                                 n_keys=5, n_lookups=20)
         assert points[1].hit_ratio > points[0].hit_ratio
 
+    @pytest.mark.slow
     def test_fig13_mobility_drops_replies_not_intersections(self):
         points = ex.mobility_sweep(n=100, speeds=(2.0, 20.0),
                                    local_repair=False,
@@ -148,6 +149,7 @@ class TestFigureDrivers:
         assert fast.reply_drop_ratio >= slow.reply_drop_ratio
         assert fast.intersection_ratio >= 0.6  # salvation keeps walks alive
 
+    @pytest.mark.slow
     def test_fig14_repair_recovers_hit_ratio(self):
         base = ex.mobility_sweep(n=100, speeds=(20.0,), local_repair=False,
                                  n_keys=6, n_lookups=30)[0]

@@ -1,0 +1,100 @@
+"""Golden-trace conformance: the simulator's observable behavior is
+pinned by a committed fig8 trace + summary (see tests/golden/README.md).
+
+Three layers, strict to loose:
+
+1. the committed summary matches the committed trace (fixture
+   self-consistency — catches hand-edited or stale fixtures),
+2. a regenerated run is byte-identical to the committed trace
+   (full determinism of the event stream),
+3. ``repro obs diff --fail-on-change`` between committed and regenerated
+   traces exits 0 — the exact gate CI runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.query import diff_summaries, summarize_trace, summary_to_jsonable
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TRACE = GOLDEN_DIR / "fig8_trace.jsonl"
+GOLDEN_SUMMARY = GOLDEN_DIR / "fig8_summary.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Must match the regeneration recipe in tests/golden/README.md.
+FIG8_ARGS = ["fig8", "--n", "25", "--keys", "2", "--lookups", "8"]
+
+
+def _regenerate(tmp_path: Path) -> Path:
+    trace = tmp_path / "fresh.jsonl"
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_JOBS"] = "1"  # byte-stable line order
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *FIG8_ARGS, "--trace", str(trace)],
+        capture_output=True, text=True, env=env, cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert trace.exists()
+    return trace
+
+
+@pytest.fixture(scope="module")
+def fresh_trace(tmp_path_factory) -> Path:
+    return _regenerate(tmp_path_factory.mktemp("golden"))
+
+
+def test_committed_summary_matches_committed_trace():
+    produced = summary_to_jsonable(summarize_trace(str(GOLDEN_TRACE)))
+    committed = json.loads(GOLDEN_SUMMARY.read_text())
+    assert produced == committed, (
+        "fixture drift: regenerate per tests/golden/README.md")
+
+
+def test_regenerated_trace_is_byte_identical(fresh_trace):
+    assert fresh_trace.read_bytes() == GOLDEN_TRACE.read_bytes(), (
+        "event stream changed; if intentional, regenerate the fixtures")
+
+
+def test_regenerated_summary_has_no_diff(fresh_trace):
+    changes = diff_summaries(summarize_trace(str(GOLDEN_TRACE)),
+                             summarize_trace(str(fresh_trace)))
+    assert changes == []
+
+
+def test_obs_diff_gate_passes(fresh_trace):
+    # The exact command CI runs as its conformance gate.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "diff", str(GOLDEN_TRACE),
+         str(fresh_trace), "--fail-on-change"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_obs_diff_gate_detects_change(fresh_trace, tmp_path):
+    # Flip one hit to a miss: the gate must fail loudly, not silently.
+    lines = GOLDEN_TRACE.read_text().splitlines()
+    mutated, flipped = [], False
+    for line in lines:
+        if (not flipped and '"kind":"access-end"' in line
+                and '"access":"lookup"' in line and '"found":true' in line):
+            line = line.replace('"found":true', '"found":false')
+            flipped = True
+        mutated.append(line)
+    assert flipped, "golden trace has no lookup hit to flip"
+    bad = tmp_path / "mutated.jsonl"
+    bad.write_text("\n".join(mutated) + "\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "diff", str(GOLDEN_TRACE),
+         str(bad), "--fail-on-change"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode != 0

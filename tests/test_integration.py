@@ -70,6 +70,7 @@ class TestEndToEndPipelines:
             RandomStrategy(RandomMembership(net)), UniquePathStrategy(), net)
         assert ratio >= 0.8
 
+    @pytest.mark.slow
     def test_pipeline_under_mobility(self):
         net = SimNetwork(NetworkConfig(n=120, avg_degree=10, seed=13,
                                        mobility="waypoint", max_speed=2.0))

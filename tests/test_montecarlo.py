@@ -1,0 +1,401 @@
+"""Tests for the batched Monte-Carlo replication engine.
+
+The load-bearing guarantee: the ``batched`` backend must be
+*statistic-identical* to the ``sequential`` backend for the same seed
+list — sharing neighbor tables and BFS route memos across replicas is a
+pure optimization, never a semantics change.  These tests assert exact
+(field-by-field, not approximate) equality across workloads that stress
+every fast-path gate: plain routed scenarios, post-churn routing,
+waypoint mobility, and lossy links.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.biquorum import ProbabilisticBiquorum
+from repro.core.strategies import RandomStrategy, UniquePathStrategy
+from repro.experiments.common import (
+    ScenarioStats,
+    make_membership,
+    make_network,
+    run_scenario,
+    scenario_config,
+)
+from repro.experiments.montecarlo import (
+    ReplicationPlan,
+    Welford,
+    run_replicated,
+    scenario_seed_list,
+    scenario_stats_equal,
+    summarize_replicas,
+    wilson_interval,
+)
+from repro.services.location import LocationService
+from repro.sim.rng import replica_seeds
+from repro.simnet.churn import apply_churn
+
+
+def _random_run(qa=10, ql=8, n_keys=5, n_lookups=30):
+    def run(net, rep_seed):
+        strategy = RandomStrategy(make_membership(net, "random"))
+        return run_scenario(net, strategy, strategy, advertise_size=qa,
+                            lookup_size=ql, n_keys=n_keys,
+                            n_lookups=n_lookups, n_lookers=10, seed=rep_seed)
+    return run
+
+
+def _assert_replicas_identical(a, b):
+    assert a.seeds == b.seeds
+    assert a.reps == b.reps
+    for left, right in zip(a.stats, b.stats):
+        assert scenario_stats_equal(left, right)
+
+
+class TestStreamingStats:
+    def test_welford_matches_numpy(self):
+        rng = random.Random(5)
+        values = [rng.gauss(3.0, 2.0) for _ in range(200)]
+        acc = Welford()
+        for v in values:
+            acc.update(v)
+        assert acc.count == len(values)
+        assert acc.mean == pytest.approx(np.mean(values), rel=1e-12)
+        assert acc.variance == pytest.approx(np.var(values, ddof=1),
+                                             rel=1e-10)
+
+    def test_welford_small_counts(self):
+        acc = Welford()
+        assert math.isnan(acc.variance)
+        acc.update(4.0)
+        assert acc.mean == 4.0
+        assert math.isnan(acc.halfwidth())
+        acc.update(6.0)
+        assert acc.mean == 5.0
+        assert acc.variance == pytest.approx(2.0)
+        assert acc.halfwidth(0.95) > 0
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(45, 60)
+        assert 0.0 <= low < 45 / 60 < high <= 1.0
+
+    def test_wilson_boundaries_stay_informative(self):
+        low, high = wilson_interval(60, 60)
+        assert high == pytest.approx(1.0) and low < 1.0  # not zero-width
+        low0, high0 = wilson_interval(0, 60)
+        assert low0 == pytest.approx(0.0) and high0 > 0.0
+
+    def test_wilson_no_trials_is_nan(self):
+        low, high = wilson_interval(0, 0)
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_wilson_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_wider_confidence_widens_interval(self):
+        low95, high95 = wilson_interval(30, 60, confidence=0.95)
+        low99, high99 = wilson_interval(30, 60, confidence=0.99)
+        assert low99 < low95 and high99 > high95
+
+
+class TestReplicaSeeds:
+    def test_prefix_stable(self):
+        # A stopping rule can extend a run without changing earlier seeds.
+        assert replica_seeds(7, 4) == replica_seeds(7, 16)[:4]
+
+    def test_deterministic_and_distinct(self):
+        seeds = replica_seeds(3, 64)
+        assert seeds == replica_seeds(3, 64)
+        assert len(set(seeds)) == 64
+        assert replica_seeds(4, 64) != seeds
+
+    def test_scenario_seed_list_replica0_is_legacy(self):
+        # Replica 0 keeps base_seed+1: one replica == historical run.
+        seeds = scenario_seed_list(12, 5)
+        assert seeds[0] == 13
+        assert seeds[1:] == replica_seeds(12, 4)
+        assert scenario_seed_list(12, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            replica_seeds(0, -1)
+
+
+class TestBackendEquivalence:
+    def test_batched_identical_to_sequential(self):
+        cfg = scenario_config(60, seed=3)
+        run = _random_run()
+        seq = run_replicated(cfg, run, reps=4, backend="sequential",
+                             base_seed=3)
+        bat = run_replicated(cfg, run, reps=4, backend="batched",
+                             base_seed=3)
+        _assert_replicas_identical(seq, bat)
+        assert seq.backend == "sequential" and bat.backend == "batched"
+
+    def test_reps1_reproduces_legacy_single_run(self):
+        # The exact run every figure module has always performed.
+        net = make_network(60, seed=3)
+        strategy = RandomStrategy(make_membership(net, "random"))
+        legacy = run_scenario(net, strategy, strategy, advertise_size=10,
+                              lookup_size=8, n_keys=5, n_lookups=30,
+                              n_lookers=10, seed=4)
+        for backend in ("batched", "sequential"):
+            outcome = run_replicated(scenario_config(60, seed=3),
+                                     _random_run(), reps=1, backend=backend,
+                                     base_seed=3)
+            assert scenario_stats_equal(legacy, outcome.stats[0])
+
+    def test_identical_under_divergent_churn(self):
+        # Post-churn topologies differ per replica (workload-driven churn),
+        # so the shared route oracle must stop serving mutated networks.
+        def run(net, rep_seed):
+            membership = make_membership(net, "random")
+            rng = random.Random(rep_seed)
+            biq = ProbabilisticBiquorum(
+                net, advertise=RandomStrategy(membership),
+                lookup=RandomStrategy(membership),
+                advertise_size=15, lookup_size=12,
+                adjust_to_network_size=False)
+            service = LocationService(biq)
+            keys = [f"key-{i}" for i in range(5)]
+            for key in keys:
+                service.advertise(net.random_alive_node(rng), key, key)
+            apply_churn(net, fail_fraction=0.3, join_fraction=0.3, rng=rng,
+                        keep_connected=True)
+            membership.refresh()
+            hits = sum(
+                bool(service.lookup(net.random_alive_node(rng),
+                                    rng.choice(keys)).found)
+                for _ in range(25))
+            return ScenarioStats(n=net.n_alive, lookups=25, hits=hits)
+
+        cfg = scenario_config(80, avg_degree=15.0, seed=7)
+        seq = run_replicated(cfg, run, reps=4, backend="sequential",
+                             base_seed=7)
+        bat = run_replicated(cfg, run, reps=4, backend="batched",
+                             base_seed=7)
+        _assert_replicas_identical(seq, bat)
+
+    @pytest.mark.slow
+    def test_identical_under_waypoint_mobility(self):
+        cfg = scenario_config(50, mobility="waypoint", max_speed=10.0,
+                              seed=2, hop_latency=0.05)
+
+        def run(net, rep_seed):
+            membership = make_membership(net, "random")
+            return run_scenario(
+                net, RandomStrategy(membership),
+                UniquePathStrategy(salvation=True),
+                advertise_size=12, lookup_size=8,
+                n_keys=4, n_lookups=20, seed=rep_seed)
+
+        seq = run_replicated(cfg, run, reps=3, backend="sequential",
+                             base_seed=2)
+        bat = run_replicated(cfg, run, reps=3, backend="batched",
+                             base_seed=2)
+        _assert_replicas_identical(seq, bat)
+
+    def test_identical_with_lossy_links(self):
+        # drop_prob > 0 disables the bulk-forward fast path; results must
+        # still match exactly (drops draw from the per-replica stream).
+        cfg = scenario_config(50, seed=4, drop_prob=0.05)
+        run = _random_run(qa=12, ql=9, n_lookups=25)
+        seq = run_replicated(cfg, run, reps=3, backend="sequential",
+                             base_seed=4)
+        bat = run_replicated(cfg, run, reps=3, backend="batched",
+                             base_seed=4)
+        _assert_replicas_identical(seq, bat)
+
+    def test_replicas_are_decorrelated(self):
+        outcome = run_replicated(scenario_config(60, seed=3), _random_run(),
+                                 reps=4, backend="batched", base_seed=3)
+        totals = [s.lookup_messages_total for s in outcome.stats]
+        assert len(set(totals)) > 1  # replicas vary — not clones
+
+    def test_explicit_seed_list_round_trips(self):
+        cfg = scenario_config(60, seed=3)
+        run = _random_run()
+        auto = run_replicated(cfg, run, reps=3, backend="batched",
+                              base_seed=3)
+        manual = run_replicated(cfg, run, reps=3, backend="batched",
+                                base_seed=3, seeds=auto.seeds)
+        _assert_replicas_identical(auto, manual)
+
+
+class TestAggregation:
+    def test_estimates_and_wilson(self):
+        outcome = run_replicated(scenario_config(60, seed=3), _random_run(),
+                                 reps=4, backend="batched", base_seed=3)
+        est = outcome.estimates["hit_ratio"]
+        assert est.reps == 4
+        assert est.mean == pytest.approx(
+            np.mean([s.hit_ratio for s in outcome.stats]))
+        assert est.halfwidth > 0
+        low, high = outcome.wilson
+        assert 0.0 <= low <= high <= 1.0
+        # ci_dict maps hit_ratio to the pooled Wilson half-width.
+        assert outcome.ci_dict()["hit_ratio"] == pytest.approx(
+            (high - low) / 2.0)
+        merged = outcome.merged
+        assert merged.lookups == sum(s.lookups for s in outcome.stats)
+
+    def test_reps0_yields_nan_not_crash(self):
+        # Empty-reps guard: zero replicas (or an all-faulted run) must
+        # produce NaN rows, never a ZeroDivisionError.
+        outcome = run_replicated(scenario_config(60, seed=3), _random_run(),
+                                 reps=0, backend="batched", base_seed=3)
+        assert outcome.reps == 0
+        assert math.isnan(outcome.mean("hit_ratio"))
+        assert math.isnan(outcome.halfwidth("hit_ratio"))
+        assert math.isnan(outcome.wilson[0])
+        assert outcome.ci_dict() == {}
+        assert outcome.merged is None
+
+    def test_summarize_empty_is_all_nan(self):
+        estimates, wilson = summarize_replicas([])
+        assert all(math.isnan(e.mean) for e in estimates.values())
+        assert math.isnan(wilson[0]) and math.isnan(wilson[1])
+
+    def test_on_error_skip_counts_faults(self):
+        calls = []
+
+        def flaky(net, rep_seed):
+            calls.append(rep_seed)
+            if len(calls) == 2:
+                raise RuntimeError("replica fault")
+            return ScenarioStats(n=10, lookups=10, hits=9)
+
+        outcome = run_replicated(scenario_config(40, seed=1), flaky,
+                                 reps=3, backend="sequential", base_seed=1,
+                                 on_error="skip")
+        assert outcome.faulted == 1
+        assert outcome.reps == 2
+        assert not math.isnan(outcome.mean("hit_ratio"))
+
+    def test_on_error_raise_propagates(self):
+        def boom(net, rep_seed):
+            raise RuntimeError("replica fault")
+
+        with pytest.raises(RuntimeError, match="replica fault"):
+            run_replicated(scenario_config(40, seed=1), boom, reps=1,
+                           backend="sequential", base_seed=1)
+
+    def test_all_faulted_is_nan_not_crash(self):
+        def boom(net, rep_seed):
+            raise RuntimeError("fault")
+
+        outcome = run_replicated(scenario_config(40, seed=1), boom, reps=3,
+                                 backend="sequential", base_seed=1,
+                                 on_error="skip")
+        assert outcome.reps == 0 and outcome.faulted == 3
+        assert math.isnan(outcome.mean("hit_ratio"))
+
+
+class TestStoppingRule:
+    def test_stops_once_target_met(self):
+        outcome = run_replicated(
+            scenario_config(50, seed=1), _random_run(qa=15, ql=12),
+            reps=2, backend="batched", base_seed=1,
+            target_halfwidth=0.5, max_reps=12)
+        # A 0.5 half-width is trivially met by the mandatory replicas.
+        assert outcome.reps == 2
+        assert outcome.stopped_early
+        assert outcome.halfwidth("hit_ratio") <= 0.5
+
+    def test_extends_up_to_max_reps(self):
+        outcome = run_replicated(
+            scenario_config(50, seed=1), _random_run(qa=15, ql=12),
+            reps=2, backend="batched", base_seed=1,
+            target_halfwidth=1e-9, max_reps=5)
+        # Unreachable target: runs the whole budget, never past it.
+        assert outcome.reps == 5
+        assert not outcome.stopped_early
+
+    def test_budget_defaults_to_8x(self):
+        plan = ReplicationPlan(reps=3, target_halfwidth=0.01)
+        assert plan.replica_budget() == 24
+        assert ReplicationPlan(reps=3).replica_budget() == 3
+
+    def test_extension_preserves_mandatory_prefix(self):
+        run = _random_run(qa=15, ql=12)
+        base = run_replicated(scenario_config(50, seed=1), run, reps=2,
+                              backend="batched", base_seed=1)
+        extended = run_replicated(scenario_config(50, seed=1), run, reps=2,
+                                  backend="batched", base_seed=1,
+                                  target_halfwidth=1e-9, max_reps=4)
+        for left, right in zip(base.stats, extended.stats[:2]):
+            assert scenario_stats_equal(left, right)
+
+
+class TestReplicaTracing:
+    def test_trace_events_carry_replica_id(self):
+        per_replica = {}
+
+        def run(net, rep_seed):
+            net.trace.enable(memory=True)
+            stats = _random_run(n_keys=2, n_lookups=5)(net, rep_seed)
+            replicas = {e.fields.get("replica") for e in net.trace.events()}
+            per_replica[net.trace.context["replica"]] = replicas
+            return stats
+
+        run_replicated(scenario_config(40, seed=6), run, reps=3,
+                       backend="batched", base_seed=6)
+        assert set(per_replica) == {0, 1, 2}
+        for index, replicas in per_replica.items():
+            assert replicas == {index}
+
+
+class TestPlanValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_replicated(scenario_config(40, seed=1), _random_run(),
+                           reps=1, backend="gpu", base_seed=1)
+
+    def test_negative_reps_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            run_replicated(scenario_config(40, seed=1), _random_run(),
+                           reps=-1, base_seed=1)
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_replicated(scenario_config(40, seed=1), _random_run(),
+                           reps=1, on_error="ignore", base_seed=1)
+
+    def test_env_default_backend(self, monkeypatch):
+        from repro.experiments import montecarlo
+
+        monkeypatch.setenv("REPRO_REP_BACKEND", "sequential")
+        assert montecarlo.default_backend() == "sequential"
+        monkeypatch.setenv("REPRO_REP_BACKEND", "nonsense")
+        assert montecarlo.default_backend() == "batched"
+        monkeypatch.delenv("REPRO_REP_BACKEND")
+        assert montecarlo.default_backend() == "batched"
+
+
+class TestSweepDeterminism:
+    def test_jobs_do_not_change_results(self):
+        # The process pool must be a pure throughput knob: per-point
+        # results (including replicated ones) are identical at any jobs.
+        from repro.experiments.fig8_random import random_lookup_hit_ratio
+
+        serial = random_lookup_hit_ratio(
+            sizes=(40,), lookup_factors=(0.5, 1.0), n_keys=3, n_lookups=10,
+            jobs=1, reps=2)
+        pooled = random_lookup_hit_ratio(
+            sizes=(40,), lookup_factors=(0.5, 1.0), n_keys=3, n_lookups=10,
+            jobs=4, reps=2)
+        assert serial == pooled
+
+    def test_backend_does_not_change_figure_points(self):
+        from repro.experiments.fig8_random import random_lookup_hit_ratio
+
+        batched = random_lookup_hit_ratio(
+            sizes=(40,), lookup_factors=(1.0,), n_keys=3, n_lookups=10,
+            jobs=1, reps=3, rep_backend="batched")
+        sequential = random_lookup_hit_ratio(
+            sizes=(40,), lookup_factors=(1.0,), n_keys=3, n_lookups=10,
+            jobs=1, reps=3, rep_backend="sequential")
+        assert batched == sequential

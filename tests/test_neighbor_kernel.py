@@ -349,3 +349,87 @@ class TestIncrementalChurn:
         for victim in (2, 11, 29):
             fresh.fail_node(victim)
         assert tables_of(net) == tables_of(fresh)
+
+
+class TestBatchedReplicaTables:
+    def _random_positions(self, rng, n, side):
+        return [(rng.uniform(0, side), rng.uniform(0, side))
+                for _ in range(n)]
+
+    def test_matches_solo_kernel_per_replica(self):
+        import random as _random
+
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        side, radius, n, reps = 1000.0, 180.0, 40, 5
+        rng = _random.Random(11)
+        ids = list(range(n))
+        stacks = [self._random_positions(rng, n, side) for _ in range(reps)]
+        batched = batched_neighbor_tables(ids, stacks, side=side,
+                                          radius=radius)
+        assert len(batched) == reps
+        for positions, tables in zip(stacks, batched):
+            kernel = NeighborKernel(side=side, radius=radius)
+            kernel.rebuild(ids, positions)
+            assert tables == kernel.neighbor_tables()
+
+    def test_torus_wraparound_matches_solo(self):
+        import random as _random
+
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        side, radius, n = 500.0, 170.0, 25
+        rng = _random.Random(3)
+        ids = list(range(n))
+        stacks = [self._random_positions(rng, n, side) for _ in range(3)]
+        batched = batched_neighbor_tables(ids, stacks, side=side,
+                                          radius=radius, torus=True)
+        for positions, tables in zip(stacks, batched):
+            kernel = NeighborKernel(side=side, radius=radius, torus=True)
+            kernel.rebuild(ids, positions)
+            assert tables == kernel.neighbor_tables()
+
+    def test_replicas_stay_isolated(self):
+        # Two replicas, same ids, positions arranged so that cross-replica
+        # pairs would be neighbors if the batch pass leaked between them.
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        ids = [0, 1]
+        rep_a = [(10.0, 10.0), (900.0, 900.0)]   # far apart: no edge
+        rep_b = [(12.0, 12.0), (13.0, 13.0)]     # co-located: edge
+        tables = batched_neighbor_tables(ids, [rep_a, rep_b],
+                                         side=1000.0, radius=50.0)
+        assert tables[0] == {0: [], 1: []}
+        assert tables[1] == {0: [1], 1: [0]}
+
+    def test_single_deployment_matrix_accepted(self):
+        import random as _random
+
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        rng = _random.Random(9)
+        ids = list(range(20))
+        positions = self._random_positions(rng, 20, 600.0)
+        tables = batched_neighbor_tables(ids, positions, side=600.0,
+                                         radius=150.0)
+        kernel = NeighborKernel(side=600.0, radius=150.0)
+        kernel.rebuild(ids, positions)
+        assert tables == [kernel.neighbor_tables()]
+
+    def test_degenerate_sizes(self):
+        import numpy as np
+
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        assert batched_neighbor_tables([], np.zeros((2, 0, 2)), side=100.0,
+                                       radius=10.0) == [{}, {}]
+        assert batched_neighbor_tables([7], [[(5.0, 5.0)], [(6.0, 6.0)]],
+                                       side=100.0, radius=10.0) == [
+            {7: []}, {7: []}]
+
+    def test_radius_beyond_cell_size_rejected(self):
+        from repro.geometry.kernel import batched_neighbor_tables
+
+        with pytest.raises(ValueError):
+            batched_neighbor_tables([0], [[(1.0, 1.0)]], side=100.0,
+                                    radius=200.0)
