@@ -297,6 +297,9 @@ ENV_VARS = {
     "REPRO_REP_BACKEND": "Monte-Carlo replication engine: batched or "
                          "sequential (statistic-identical; batched is "
                          "faster)",
+    "REPRO_ACCESS_BACKEND": "access engine: batched (numpy kernels) or "
+                            "sequential (statistic-identical; batched is "
+                            "faster)",
 }
 
 OBS_COMMANDS = {

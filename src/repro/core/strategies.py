@@ -170,10 +170,18 @@ class AccessStrategy(ABC):
     uniform_random: bool = False
     #: Optional deadline/retry envelope applied by ``_run_access``.
     policy: Optional[AccessPolicy] = None
+    #: Per-strategy access-engine override ("batched" | "sequential");
+    #: None inherits the network's configured backend.
+    access_backend: Optional[str] = None
 
     def set_policy(self, policy: Optional[AccessPolicy]) -> "AccessStrategy":
         """Attach (or clear) a retry/deadline policy; returns self."""
         self.policy = policy
+        return self
+
+    def set_access_backend(self, backend: Optional[str]) -> "AccessStrategy":
+        """Force an access-engine backend for this strategy; returns self."""
+        self.access_backend = backend
         return self
 
     def advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
@@ -258,8 +266,13 @@ class AccessStrategy(ABC):
                 callback = _traced_store(net, trace, callback)
             else:
                 callback = _traced_probe(net, trace, callback)
+        engine = getattr(net, "access_engine", None)
         with PROFILER.phase(f"access.{kind}"):
-            result = impl(net, origin, callback, target_size)
+            if engine is not None:
+                with engine.forced(self.access_backend):
+                    result = impl(net, origin, callback, target_size)
+            else:
+                result = impl(net, origin, callback, target_size)
         result.latency = net.now - started
         if trace is not None:
             trace.record("access-end", net.now, strategy=self.name,
@@ -322,11 +335,13 @@ class RandomStrategy(AccessStrategy):
     uniform_random = True
 
     def __init__(self, membership: Any, rng: Optional[random.Random] = None,
-                 serial_lookup: bool = False, adaptation_retries: int = 2) -> None:
+                 serial_lookup: bool = False, adaptation_retries: int = 2,
+                 access_backend: Optional[str] = None) -> None:
         self.membership = membership
         self.rng = rng
         self.serial_lookup = serial_lookup
         self.adaptation_retries = adaptation_retries
+        self.access_backend = access_backend
 
     def _rng(self, net: SimNetwork) -> random.Random:
         return self.rng or net.rngs.stream("random-strategy")
@@ -341,13 +356,17 @@ class RandomStrategy(AccessStrategy):
         result.routing_messages += route.routing_messages
         return route.success
 
-    def _replacement(self, origin: int, reached: Set[int],
+    def _replacement(self, net: SimNetwork, origin: int, reached: Set[int],
                      rng: random.Random, draws: int = 4) -> Optional[int]:
         """Draw an adaptation replacement target (Section 6.2).
 
         Already-reached nodes are excluded at sampling time: a duplicate
         draw costs no transmission, so it must not burn a retry attempt
         — the retry budget counts actual adaptation transmissions.
+        Exhausting the draw budget on duplicates truncates adaptation;
+        that is no longer silent: it emits an
+        ``access-adaptation-exhausted`` trace event and bumps the
+        ``access.adaptation_exhausted`` counter so audits can see it.
         """
         for _ in range(draws):
             replacements = self.membership.sample_for(origin, 1, rng)
@@ -355,6 +374,11 @@ class RandomStrategy(AccessStrategy):
                 return None
             if replacements[0] not in reached:
                 return replacements[0]
+        record_event(net, "access-adaptation-exhausted", strategy=self.name,
+                     origin=origin, reached=len(reached), draws=draws)
+        metrics = getattr(net, "metrics", None)
+        if metrics is not None:
+            metrics.counter("access.adaptation_exhausted").inc()
         return None
 
     def _advertise(self, net: SimNetwork, origin: int, store_fn: StoreFn,
@@ -371,14 +395,14 @@ class RandomStrategy(AccessStrategy):
                 if current in reached:
                     # Duplicate target: nothing was sent, swap it out
                     # without consuming the retry budget.
-                    current = self._replacement(origin, reached, rng)
+                    current = self._replacement(net, origin, reached, rng)
                     continue
                 if self._reach(net, origin, current, result):
                     reached.add(current)
                     store_fn(current)
                     break
                 attempts += 1
-                current = self._replacement(origin, reached, rng)
+                current = self._replacement(net, origin, reached, rng)
         result.quorum = sorted(reached)
         result.success = len(reached) >= min(target_size,
                                              max(1, net.n_alive - 1))
@@ -396,7 +420,7 @@ class RandomStrategy(AccessStrategy):
             current: Optional[int] = target
             while current is not None and attempts <= self.adaptation_retries:
                 if current in reached:
-                    current = self._replacement(origin, reached, rng)
+                    current = self._replacement(net, origin, reached, rng)
                     continue
                 if self._reach(net, origin, current, result):
                     reached.add(current)
@@ -419,7 +443,7 @@ class RandomStrategy(AccessStrategy):
                             result.reply_delivered = False
                     break
                 attempts += 1
-                current = self._replacement(origin, reached, rng)
+                current = self._replacement(net, origin, reached, rng)
             if (self.serial_lookup and result.found
                     and result.reply_delivered):
                 break
@@ -448,10 +472,12 @@ class RandomSamplingStrategy(AccessStrategy):
 
     def __init__(self, walk_length: Optional[int] = None,
                  rng: Optional[random.Random] = None,
-                 max_extra_walks: int = 8) -> None:
+                 max_extra_walks: int = 8,
+                 access_backend: Optional[str] = None) -> None:
         self.walk_length = walk_length
         self.rng = rng
         self.max_extra_walks = max_extra_walks
+        self.access_backend = access_backend
 
     def _rng(self, net: SimNetwork) -> random.Random:
         return self.rng or net.rngs.stream("sampling-strategy")
@@ -549,8 +575,10 @@ class PathStrategy(AccessStrategy):
                  local_repair: bool = False, repair_ttl: int = 3,
                  allow_global_repair: bool = True,
                  overhearing: bool = False,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 access_backend: Optional[str] = None) -> None:
         self.unique = unique
+        self.access_backend = access_backend
         self.salvation = salvation
         self.early_halting = early_halting
         self.reply_reduction = reply_reduction
@@ -676,11 +704,13 @@ class FloodingStrategy(AccessStrategy):
 
     def __init__(self, ttl: Optional[int] = None, expanding_ring: bool = False,
                  kappa: float = DEFAULT_KAPPA,
-                 count_acks: bool = True) -> None:
+                 count_acks: bool = True,
+                 access_backend: Optional[str] = None) -> None:
         self.ttl = ttl
         self.expanding_ring = expanding_ring
         self.kappa = kappa
         self.count_acks = count_acks
+        self.access_backend = access_backend
 
     def _analytic_ttl(self, net: SimNetwork, target_size: int) -> int:
         target = min(target_size, net.n_alive)
@@ -790,10 +820,12 @@ class RandomOptStrategy(AccessStrategy):
     uniform_random = False
 
     def __init__(self, membership: Any, initiations: Optional[int] = None,
-                 rng: Optional[random.Random] = None) -> None:
+                 rng: Optional[random.Random] = None,
+                 access_backend: Optional[str] = None) -> None:
         self.membership = membership
         self.initiations = initiations
         self.rng = rng
+        self.access_backend = access_backend
 
     def _rng(self, net: SimNetwork) -> random.Random:
         return self.rng or net.rngs.stream("random-opt-strategy")
@@ -809,6 +841,7 @@ class RandomOptStrategy(AccessStrategy):
         rng = self._rng(net)
         stored: Set[int] = set()
         initiations = self.initiations or self.default_initiations(net)
+        fast = net.access_engine.unicast_resolver(net)
         sent = 0
         # Keep initiating routed sends until both the initiation budget is
         # used AND the en-route quorum reached the target size.
@@ -824,7 +857,10 @@ class RandomOptStrategy(AccessStrategy):
                 continue
             for a, b in zip(path, path[1:]):
                 result.messages += 1
-                if not net.one_hop_unicast(a, b):
+                ok = fast(a, b) if fast is not None else None
+                if ok is None:
+                    ok = net.one_hop_unicast(a, b)
+                if not ok:
                     break
                 if b not in stored:
                     stored.add(b)
@@ -865,6 +901,7 @@ class RandomOptStrategy(AccessStrategy):
                          success=True, mechanism="local")
 
         delivered_any = bool(result.found)
+        fast = net.access_engine.unicast_resolver(net)
         for _ in range(initiations):
             targets = self.membership.sample_for(origin, 1, rng)
             if not targets:
@@ -876,7 +913,10 @@ class RandomOptStrategy(AccessStrategy):
                 continue
             for a, b in zip(path, path[1:]):
                 result.messages += 1
-                if not net.one_hop_unicast(a, b):
+                ok = fast(a, b) if fast is not None else None
+                if ok is None:
+                    ok = net.one_hop_unicast(a, b)
+                if not ok:
                     break
                 value = probe(b)
                 if value is not None:

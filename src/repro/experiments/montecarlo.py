@@ -317,6 +317,7 @@ class _ReplicaNetworkBuilder:
         self.plan = plan
         self.batched = batched
         self._oracles: Dict[int, TopologyRouteOracle] = {}
+        self._access_states: Dict[int, "SharedAccessState"] = {}
         self._tables: Dict[int, Dict[int, List[int]]] = {}
         self._static = config.mobility == "static"
         self._vectorized = config.neighbor_backend == "vectorized"
@@ -359,6 +360,14 @@ class _ReplicaNetworkBuilder:
                 oracle = self._oracles.setdefault(
                     cfg.seed, TopologyRouteOracle())
                 net.attach_route_oracle(oracle)
+                # Replica axis and within-access batch axis share one
+                # kernel state: the same CSR snapshot + BFS memo serves
+                # every replica of the deployment (sound while the
+                # topology stays at the attach version).
+                from repro.core.access_engine import SharedAccessState
+                state = self._access_states.setdefault(
+                    cfg.seed, SharedAccessState())
+                net.access_engine.adopt_shared(net, state)
         return nets
 
 

@@ -78,6 +78,7 @@ class RunManifest:
     seed: Optional[int] = None
     jobs: Optional[int] = None
     neighbor_backend: str = ""
+    access_backend: str = ""
     trace_path: Optional[str] = None
     git_rev: str = "unknown"
     git_dirty: Optional[bool] = None
@@ -124,6 +125,7 @@ def collect_manifest(
         jobs=jobs,
         neighbor_backend=os.environ.get("REPRO_NEIGHBOR_BACKEND",
                                         "vectorized"),
+        access_backend=os.environ.get("REPRO_ACCESS_BACKEND", "batched"),
         trace_path=trace_path,
         git_rev=git["rev"],
         git_dirty=git["dirty"],

@@ -101,6 +101,8 @@ def send_reply(
         _trace()
         return result
 
+    engine = getattr(net, "access_engine", None)
+    fast = engine.unicast_resolver(net) if engine is not None else None
     while current != origin:
         # Choose the next target: reduction jumps to the latest path node
         # that is currently a direct neighbor.
@@ -113,7 +115,10 @@ def send_reply(
                     break
         target = rpath[next_index]
         result.messages += 1
-        if net.one_hop_unicast(current, target):
+        sent = fast(current, target) if fast is not None else None
+        if sent is None:
+            sent = net.one_hop_unicast(current, target)
+        if sent:
             current = target
             pos = next_index
             result.hops_taken += 1

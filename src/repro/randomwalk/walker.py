@@ -81,6 +81,10 @@ def random_walk(
     rng = rng or net.rngs.stream("walk")
     if max_steps is None:
         max_steps = 20 * target_unique + 50
+    # Batched access engine: an exact fast path for the per-hop forwards
+    # (None when it cannot prove identity; each send may also decline).
+    engine = getattr(net, "access_engine", None)
+    fast = engine.unicast_resolver(net) if engine is not None else None
 
     visited: List[int] = [start]
     visited_set: Set[int] = {start}
@@ -113,7 +117,10 @@ def random_walk(
         attempts = candidates if salvation else candidates[:1]
         for candidate in attempts:
             messages += 1
-            if net.one_hop_unicast(current, candidate):
+            sent = fast(current, candidate) if fast is not None else None
+            if sent is None:
+                sent = net.one_hop_unicast(current, candidate)
+            if sent:
                 forwarded_to = candidate
                 break
             if not salvation:
@@ -171,11 +178,19 @@ def max_degree_walk_sample(
     if walk_length is None:
         walk_length = max(1, n // 2)
     if max_degree is None:
-        degrees = [len(net.known_neighbors(v)) for v in net.alive_nodes()]
+        # Scan stored list lengths directly: known_neighbors() copies
+        # every list, which dominates at large n.
+        tables = getattr(net, "_known_neighbors", None)
+        if tables is not None:
+            degrees = [len(tables.get(v, ())) for v in net.alive_nodes()]
+        else:
+            degrees = [len(net.known_neighbors(v)) for v in net.alive_nodes()]
         max_degree = max(degrees) if degrees else 1
     if not net.is_alive(start):
         return SampleResult(node=None, steps=0, messages=0)
 
+    engine = getattr(net, "access_engine", None)
+    fast = engine.unicast_resolver(net) if engine is not None else None
     current = start
     steps = 0
     messages = 0
@@ -193,7 +208,10 @@ def max_degree_walk_sample(
         forwarded: Optional[int] = None
         for candidate in candidates:  # salvation built in
             messages += 1
-            if net.one_hop_unicast(current, candidate):
+            sent = fast(current, candidate) if fast is not None else None
+            if sent is None:
+                sent = net.one_hop_unicast(current, candidate)
+            if sent:
                 forwarded = candidate
                 break
         if forwarded is None:

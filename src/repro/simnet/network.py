@@ -53,6 +53,11 @@ def _default_neighbor_backend() -> str:
     return os.environ.get("REPRO_NEIGHBOR_BACKEND", "vectorized")
 
 
+def _default_access_backend() -> str:
+    """Access-engine backend (see :mod:`repro.core.access_engine`)."""
+    return os.environ.get("REPRO_ACCESS_BACKEND", "batched")
+
+
 @dataclass
 class NetworkConfig:
     """Deployment and protocol parameters (paper Figure 2 defaults)."""
@@ -73,6 +78,9 @@ class NetworkConfig:
     grid_refresh: float = 1.0
     #: "vectorized" (numpy batched kernel) or "python" (reference path).
     neighbor_backend: str = field(default_factory=_default_neighbor_backend)
+    #: "batched" (numpy access kernels, statistic-identical) or
+    #: "sequential" (legacy per-event path).
+    access_backend: str = field(default_factory=_default_access_backend)
 
     @property
     def side(self) -> float:
@@ -188,6 +196,11 @@ class SimNetwork:
             raise ValueError(
                 f"unknown neighbor backend {config.neighbor_backend!r}")
 
+        # Batched access engine (local import: repro.core pulls in the
+        # strategy modules, which import this one).
+        from repro.core.access_engine import AccessEngine
+        self.access_engine = AccessEngine(config.access_backend)
+
         self.mobility = MobilityManager(self._model)
         self._alive: Set[int] = set()
         self._next_id = 0
@@ -205,6 +218,10 @@ class SimNetwork:
         self._pos_cache: Dict[int, Point] = {}
         self._pos_cache_time = -math.inf
         self._known_neighbors: Dict[int, List[int]] = {}
+        # Counts known-view (heartbeat snapshot) mutations; these do not
+        # touch geometry, so known-view caches key on
+        # (topology_version, known_version).
+        self._known_version = 0
         self._route_cache: Dict[Tuple[int, int], List[int]] = {}
         self._drop_rng = self.rngs.stream("drops")
         self.energy = EnergyLedger()
@@ -354,6 +371,11 @@ class SimNetwork:
         deterministic mutation sequence to the same placement agree."""
         return self._topo_version
 
+    @property
+    def known_version(self) -> int:
+        """Counts known-view (heartbeat snapshot) mutations."""
+        return self._known_version
+
     def attach_route_oracle(self, oracle) -> None:
         """Serve route discovery from a shared per-deployment BFS memo.
 
@@ -375,11 +397,19 @@ class SimNetwork:
         self._route_oracle = None
 
     def _oracle_tree(self, src: int):
-        """The shared BFS tree from ``src``, or None when not applicable."""
-        if (self._route_oracle is None or self.config.mobility != "static"
-                or self._topo_version != self._oracle_version):
-            return None
-        return self._route_oracle.tree(self, src)
+        """A memoized BFS tree from ``src``, or None when not applicable.
+
+        The shared per-deployment oracle (batched replication) takes
+        precedence; otherwise the access engine serves its own
+        version-keyed memo when the batched backend is eligible.  Both
+        produce trees identical to the sequential BFS, so route
+        discovery stays statistic-identical either way.
+        """
+        if (self._route_oracle is not None
+                and self.config.mobility == "static"
+                and self._topo_version == self._oracle_version):
+            return self._route_oracle.tree(self, src)
+        return self.access_engine.tree(self, src)
 
     # -- observability -------------------------------------------------------
 
@@ -440,6 +470,7 @@ class SimNetwork:
             self._alive.discard(node_id)
             self._evict_from_geometry(node_id)
             self._known_neighbors.pop(node_id, None)
+            self._known_version += 1
         if commit:
             self._commit_failure_effects(node_id)
         else:
@@ -490,6 +521,7 @@ class SimNetwork:
                 table = self._known_neighbors.get(other)
                 if table is not None and node_id not in table:
                     table.append(node_id)
+            self._known_version += 1
         self.metrics.counter("churn.joins").inc()
         self.record_event("churn", action="join", node=node_id)
         return node_id
@@ -604,6 +636,7 @@ class SimNetwork:
     def _refresh_neighbor_tables(self) -> None:
         if self._heartbeat_suspended:
             return
+        self._known_version += 1
         with PROFILER.phase("neighbor.heartbeat"):
             if self.config.neighbor_backend == "vectorized":
                 tables = self._neighbor_tables()
@@ -720,23 +753,27 @@ class SimNetwork:
         """
         if ttl < 1:
             raise ValueError("flood TTL must be >= 1")
-        covered: Dict[int, int] = {origin: 0}
-        parent: Dict[int, int] = {origin: origin}
-        messages = 0
-        frontier = [origin]
-        hop = 0
-        while frontier and hop < ttl:
-            next_frontier: List[int] = []
-            for node in frontier:
-                receivers = self.one_hop_broadcast(node)
-                messages += 1
-                for rx in receivers:
-                    if rx not in covered:
-                        covered[rx] = hop + 1
-                        parent[rx] = node
-                        next_frontier.append(rx)
-            frontier = next_frontier
-            hop += 1
+        batched = self.access_engine.flood(self, origin, ttl)
+        if batched is not None:
+            covered, parent, messages = batched
+        else:
+            covered = {origin: 0}
+            parent = {origin: origin}
+            messages = 0
+            frontier = [origin]
+            hop = 0
+            while frontier and hop < ttl:
+                next_frontier: List[int] = []
+                for node in frontier:
+                    receivers = self.one_hop_broadcast(node)
+                    messages += 1
+                    for rx in receivers:
+                        if rx not in covered:
+                            covered[rx] = hop + 1
+                            parent[rx] = node
+                            next_frontier.append(rx)
+                frontier = next_frontier
+                hop += 1
         self.record_event("flood", origin=origin, ttl=ttl,
                           coverage=len(covered), messages=messages)
         return FloodOutcome(origin=origin, ttl=ttl, covered=covered,
@@ -852,17 +889,20 @@ class SimNetwork:
 
         Only fires when the result is *provably identical* to the per-hop
         ``one_hop_unicast`` loop: an attached route oracle (batched
-        replication mode), static positions, no random drops, tracing
+        replication mode) or an active batched access engine,
+        static positions, no random drops, tracing
         off, every hop currently valid, and no simulation event pending
         inside the forwarding window.  The target time is accumulated by
         repeated addition — the same float operations the per-hop loop
         performs — so clocks and latency statistics stay byte-identical.
         """
-        if (self._route_oracle is None
-                or self.trace.enabled
+        if (self.trace.enabled
                 or self.config.mobility != "static"
                 or self.config.drop_prob > 0
                 or self._tables is None):
+            return None
+        if (self._route_oracle is None
+                and not self.access_engine.routes_active(self)):
             return None
         hops = len(path) - 1
         if hops <= 0:

@@ -77,7 +77,18 @@ class BfsTree:
 
 
 def bfs_tree(net, src: int) -> BfsTree:
-    """Compute the full BFS tree from ``src`` on ``net``'s current graph."""
+    """Compute the full BFS tree from ``src`` on ``net``'s current graph.
+
+    When the network's batched access engine is eligible (static
+    topology, vectorized tables, large enough n), the tree is built by
+    its level-synchronous numpy kernel — identical parents and
+    distances, one pass per ring instead of one Python scan per node.
+    """
+    engine = getattr(net, "access_engine", None)
+    if engine is not None:
+        tree = engine.numpy_tree(net, src)
+        if tree is not None:
+            return tree
     parent: Dict[int, int] = {src: src}
     dist: Dict[int, int] = {src: 0}
     queue = deque([src])

@@ -1,0 +1,490 @@
+"""Backend-equivalence suite for the batched access engine.
+
+The contract under test (DESIGN.md §11): ``access_backend="batched"``
+is **statistic-identical** to ``"sequential"`` — same
+:class:`AccessResult` fields, same trace events, same counters, same
+energy, same simulated clock — across every strategy, under churn,
+fault campaigns, mobility, random drops, tracing, and strict audit.
+Plus the CSR snapshot staleness guard (a stale topology version can
+never be served), the numpy BFS kernel's exactness, the Philox walk
+kernel, and the adaptation-exhaustion satellite.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.access_engine import (
+    AccessEngine,
+    SharedAccessState,
+    default_access_backend,
+    walk_batch,
+)
+from repro.core.gossip import GossipFloodStrategy
+from repro.core.strategies import (
+    FloodingStrategy,
+    PathStrategy,
+    RandomOptStrategy,
+    RandomSamplingStrategy,
+    RandomStrategy,
+    UniquePathStrategy,
+)
+from repro.experiments.common import make_membership
+from repro.geometry.csr import CsrCache, build_known_csr, build_true_csr
+from repro.simnet.network import NetworkConfig, SimNetwork
+from repro.simnet.replication import bfs_tree
+
+
+def _pair(n=80, seed=3, **kw):
+    """Two identically-seeded networks differing only in access backend."""
+    seq = SimNetwork(NetworkConfig(n=n, seed=seed,
+                                   access_backend="sequential", **kw))
+    bat = SimNetwork(NetworkConfig(n=n, seed=seed,
+                                   access_backend="batched", **kw))
+    return seq, bat
+
+
+def _drive(net, make_strategy, script, trace=False):
+    """Run an access script against one network; return full observables."""
+    if trace:
+        net.trace.enable(memory=True)
+    strategy = make_strategy(net)
+    stored = set()
+    results = []
+    for step in script:
+        if step[0] == "advertise":
+            _, origin, size = step
+            r = strategy.advertise(net, origin, stored.add, size)
+        elif step[0] == "lookup":
+            _, origin, size = step
+            r = strategy.lookup(
+                net, origin,
+                lambda v: v if v in stored else None, size)
+        elif step[0] == "fail":
+            net.fail_node(step[1])
+            continue
+        elif step[0] == "fail-tentative":
+            net.fail_node(step[1], commit=False)
+            continue
+        elif step[0] == "commit":
+            net.commit_failure(step[1])
+            continue
+        elif step[0] == "revive":
+            net.revive_node(step[1])
+            continue
+        elif step[0] == "join":
+            net.join_node()
+            continue
+        elif step[0] == "advance":
+            net.advance(step[1])
+            continue
+        else:  # pragma: no cover - script typo guard
+            raise ValueError(step)
+        results.append(dataclasses.asdict(r))
+    observables = {
+        "results": results,
+        "now": net.sim.now,
+        "counters": dict(net.counters),
+        "energy": net.energy.total,
+        "metrics": net.metrics.snapshot(),
+    }
+    if net.trace.enabled:
+        observables["events"] = list(net.trace.events())
+    return observables
+
+
+def _assert_identical(make_strategy, script, trace=False, **net_kw):
+    seq, bat = _pair(**net_kw)
+    obs_seq = _drive(seq, make_strategy, script, trace=trace)
+    obs_bat = _drive(bat, make_strategy, script, trace=trace)
+    assert obs_seq == obs_bat
+
+
+BASIC_SCRIPT = [
+    ("advertise", 0, 14), ("lookup", 7, 11), ("lookup", 19, 11),
+    ("advertise", 3, 14), ("lookup", 0, 11),
+]
+
+CHURN_SCRIPT = [
+    ("advertise", 0, 14), ("fail", 9), ("fail", 21), ("lookup", 7, 11),
+    ("fail-tentative", 30), ("lookup", 3, 11), ("revive", 30),
+    ("commit", 30), ("join",), ("advance", 10.5), ("advertise", 5, 14),
+    ("fail", 2), ("lookup", 11, 11),
+]
+
+
+# -- statistic-identity across strategies ------------------------------------
+
+
+def test_random_strategy_identical():
+    _assert_identical(lambda net: RandomStrategy(
+        make_membership(net, "random")), BASIC_SCRIPT)
+
+
+def test_random_strategy_identical_under_churn():
+    _assert_identical(lambda net: RandomStrategy(
+        make_membership(net, "random")), CHURN_SCRIPT)
+
+
+def test_random_strategy_identical_traced():
+    _assert_identical(lambda net: RandomStrategy(
+        make_membership(net, "random")), CHURN_SCRIPT, trace=True)
+
+
+def test_random_opt_identical():
+    _assert_identical(lambda net: RandomOptStrategy(
+        make_membership(net, "full")), CHURN_SCRIPT)
+
+
+def test_sampling_strategy_identical():
+    _assert_identical(lambda net: RandomSamplingStrategy(walk_length=30),
+                      BASIC_SCRIPT)
+
+
+def test_path_strategy_identical_under_churn():
+    _assert_identical(lambda net: PathStrategy(), CHURN_SCRIPT)
+
+
+def test_unique_path_identical():
+    _assert_identical(lambda net: UniquePathStrategy(local_repair=True),
+                      CHURN_SCRIPT)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {},                      # analytic TTL
+    {"expanding_ring": True},
+    {"ttl": 3},              # fixed TTL (Figure 11 mode)
+])
+def test_flooding_identical_under_churn(kwargs):
+    _assert_identical(lambda net: FloodingStrategy(**kwargs), CHURN_SCRIPT)
+
+
+def test_gossip_flood_identical():
+    _assert_identical(lambda net: GossipFloodStrategy(), CHURN_SCRIPT)
+
+
+def test_flooding_identical_traced():
+    _assert_identical(lambda net: FloodingStrategy(), BASIC_SCRIPT,
+                      trace=True)
+
+
+def test_identical_with_random_drops():
+    # drop_prob > 0 forces the sequential path in every kernel; the two
+    # backends must still agree draw for draw (same "drops" stream).
+    _assert_identical(lambda net: PathStrategy(), BASIC_SCRIPT,
+                      drop_prob=0.1)
+    _assert_identical(lambda net: FloodingStrategy(), BASIC_SCRIPT,
+                      drop_prob=0.1)
+
+
+def test_identical_under_waypoint_mobility():
+    _assert_identical(lambda net: PathStrategy(local_repair=True),
+                      BASIC_SCRIPT, mobility="waypoint",
+                      require_connected=False)
+    _assert_identical(lambda net: FloodingStrategy(),
+                      BASIC_SCRIPT, mobility="waypoint",
+                      require_connected=False)
+
+
+def test_identical_under_strict_audit(monkeypatch):
+    # The auditor cross-checks every AccessResult against the traced
+    # event stream; the batched backend must keep that ledger balanced.
+    monkeypatch.setenv("REPRO_AUDIT", "strict")
+    _assert_identical(lambda net: FloodingStrategy(), BASIC_SCRIPT)
+    _assert_identical(lambda net: RandomStrategy(
+        make_membership(net, "random")), BASIC_SCRIPT)
+    _assert_identical(lambda net: PathStrategy(), CHURN_SCRIPT)
+
+
+def test_flood_outcome_identical_mid_heartbeat():
+    # Floods whose broadcast window straddles a heartbeat must fall back
+    # round by round and still agree exactly.
+    seq, bat = _pair()
+    for net in (seq, bat):
+        net.advance(net.config.heartbeat_interval
+                    - 3 * net.config.hop_latency)
+    fa = seq.flood(0, 30)
+    fb = bat.flood(0, 30)
+    assert fa.covered == fb.covered
+    assert list(fa.covered) == list(fb.covered)  # discovery order too
+    assert fa.parent == fb.parent
+    assert fa.messages == fb.messages
+    assert seq.sim.now == bat.sim.now
+
+
+# -- backend selection -------------------------------------------------------
+
+
+def test_default_backend_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ACCESS_BACKEND", raising=False)
+    assert default_access_backend() == "batched"
+    monkeypatch.setenv("REPRO_ACCESS_BACKEND", "sequential")
+    assert default_access_backend() == "sequential"
+    assert NetworkConfig(n=5).access_backend == "sequential"
+    monkeypatch.setenv("REPRO_ACCESS_BACKEND", "bogus")
+    assert default_access_backend() == "batched"
+
+
+def test_engine_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        AccessEngine("bogus")
+    with pytest.raises(ValueError):
+        SimNetwork(NetworkConfig(n=5, access_backend="bogus",
+                                 require_connected=False))
+
+
+def test_forced_override_restores():
+    engine = AccessEngine("batched")
+    assert engine.active
+    with engine.forced("sequential"):
+        assert not engine.active
+        with engine.forced(None):  # None inherits the current state
+            assert not engine.active
+    assert engine.active
+    with pytest.raises(ValueError):
+        with engine.forced("bogus"):
+            pass  # pragma: no cover
+
+
+def test_strategy_override_disables_kernels():
+    net = SimNetwork(NetworkConfig(n=60, seed=2, access_backend="batched"))
+    strategy = FloodingStrategy().set_access_backend("sequential")
+    stored = set()
+    strategy.advertise(net, 0, stored.add, 10)
+    assert net.access_engine._csr_cache.misses == 0  # kernels never ran
+    strategy.set_access_backend(None)
+    strategy.advertise(net, 0, stored.add, 10)
+    assert net.access_engine._csr_cache.misses > 0
+
+
+# -- CSR snapshots + staleness guard -----------------------------------------
+
+
+def test_true_csr_matches_tables():
+    net = SimNetwork(NetworkConfig(n=60, seed=1))
+    snap = build_true_csr(net)
+    assert snap.n == net.n_alive
+    for node in net.alive_nodes():
+        assert snap.neighbors(node) == net.true_neighbors(node)
+        assert snap.degree(node) == len(net.true_neighbors(node))
+    assert snap.row_of(10 ** 9) is None
+    assert snap.degree(10 ** 9) == 0
+    assert snap.neighbors(10 ** 9) == []
+
+
+def test_known_csr_preserves_stored_order():
+    net = SimNetwork(NetworkConfig(n=60, seed=1))
+    net.join_node()  # append-order mutation of neighbors' known lists
+    snap = build_known_csr(net)
+    for node in net.alive_nodes():
+        stored = [v for v in net.known_neighbors(node)
+                  if snap.row_of(v) is not None]
+        assert snap.neighbors(node) == stored
+
+
+def test_csr_cache_staleness_guard():
+    net = SimNetwork(NetworkConfig(n=60, seed=1))
+    cache = CsrCache()
+    first = cache.true_snapshot(net)
+    assert cache.true_snapshot(net) is first  # same version: cache hit
+    assert cache.hits == 1 and cache.misses == 1
+    victim = net.alive_nodes()[5]
+    net.fail_node(victim)
+    second = cache.true_snapshot(net)
+    assert second is not first  # stale version can never serve
+    assert second.key == net.topology_version
+    assert second.row_of(victim) is None
+    assert cache.misses == 2
+
+
+def test_known_csr_cache_rekeys_on_heartbeat():
+    net = SimNetwork(NetworkConfig(n=60, seed=1))
+    cache = CsrCache()
+    first = cache.known_snapshot(net)
+    assert cache.known_snapshot(net) is first
+    net.advance(net.config.heartbeat_interval + 0.1)  # heartbeat fired
+    second = cache.known_snapshot(net)
+    assert second is not first
+    assert second.key == (net.topology_version, net.known_version)
+
+
+def test_known_version_counts_known_view_mutations():
+    net = SimNetwork(NetworkConfig(n=30, seed=4))
+    v0 = net.known_version
+    net.fail_node(net.alive_nodes()[0])
+    assert net.known_version > v0
+    v1 = net.known_version
+    net.join_node()
+    assert net.known_version > v1
+    v2 = net.known_version
+    net.suspend_neighbor_refresh()
+    net.advance(net.config.heartbeat_interval + 0.1)
+    assert net.known_version == v2  # suspended heartbeat is a no-op
+    net.resume_neighbor_refresh()
+    assert net.known_version > v2
+
+
+# -- numpy BFS kernel --------------------------------------------------------
+
+
+def test_numpy_bfs_equals_python_bfs():
+    bat = SimNetwork(NetworkConfig(n=200, seed=5, access_backend="batched"))
+    seq = SimNetwork(NetworkConfig(n=200, seed=5,
+                                   access_backend="sequential"))
+    for src in (0, 77, 199):
+        numpy_tree = bat.access_engine.numpy_tree(bat, src)
+        assert numpy_tree is not None
+        python_tree = bfs_tree(seq, src)
+        assert numpy_tree.parent == python_tree.parent
+        assert list(numpy_tree.parent) == list(python_tree.parent)
+        assert numpy_tree.dist == python_tree.dist
+        assert numpy_tree._cum == python_tree._cum
+
+
+def test_numpy_bfs_declines_when_ineligible():
+    small = SimNetwork(NetworkConfig(n=50, seed=5, access_backend="batched"))
+    assert small.access_engine.numpy_tree(small, 0) is None  # tiny n
+    big = SimNetwork(NetworkConfig(n=200, seed=5,
+                                   access_backend="sequential"))
+    assert big.access_engine.numpy_tree(big, 0) is None  # backend off
+    bat = SimNetwork(NetworkConfig(n=200, seed=5, access_backend="batched"))
+    victim = bat.alive_nodes()[3]
+    bat.fail_node(victim)
+    assert bat.access_engine.numpy_tree(bat, victim) is None  # dead source
+
+
+def test_engine_tree_memo_keys_on_topology_version():
+    net = SimNetwork(NetworkConfig(n=200, seed=5, access_backend="batched"))
+    engine = net.access_engine
+    t1 = engine.tree(net, 0)
+    assert t1 is not None
+    assert engine.tree(net, 0) is t1
+    assert engine.tree_hits == 1
+    net.fail_node(net.alive_nodes()[7])
+    t2 = engine.tree(net, 0)
+    assert t2 is not t1  # stale version evicted wholesale
+    assert engine.tree_misses == 2
+
+
+# -- shared cross-replica state ----------------------------------------------
+
+
+def test_shared_state_serves_all_replicas():
+    state = SharedAccessState()
+    nets = [SimNetwork(NetworkConfig(n=200, seed=5,
+                                     access_backend="batched"))
+            for _ in range(2)]
+    for net in nets:
+        net.access_engine.adopt_shared(net, state)
+    t0 = nets[0].access_engine.tree(nets[0], 3)
+    t1 = nets[1].access_engine.tree(nets[1], 3)
+    assert t1 is t0  # the memoized tree crossed replicas
+    assert state.hits == 1 and state.misses == 1
+    csr0 = nets[0].access_engine.true_csr(nets[0])
+    assert nets[1].access_engine.true_csr(nets[1]) is csr0
+
+
+def test_shared_state_detaches_on_churn():
+    state = SharedAccessState()
+    net = SimNetwork(NetworkConfig(n=200, seed=5, access_backend="batched"))
+    net.access_engine.adopt_shared(net, state)
+    net.access_engine.tree(net, 3)
+    net.fail_node(net.alive_nodes()[0])  # workload-divergent mutation
+    net.access_engine.tree(net, 3)
+    assert state.misses == 1  # second tree came from the private memo
+
+
+def test_shared_state_rejects_other_deployment():
+    state = SharedAccessState()
+    a = SimNetwork(NetworkConfig(n=200, seed=5, access_backend="batched"))
+    b = SimNetwork(NetworkConfig(n=200, seed=6, access_backend="batched"))
+    a.access_engine.adopt_shared(a, state)
+    with pytest.raises(ValueError):
+        b.access_engine.adopt_shared(b, state)
+
+
+# -- Philox walker batches ---------------------------------------------------
+
+
+def test_walk_batch_deterministic_and_valid():
+    net = SimNetwork(NetworkConfig(n=150, seed=7))
+    csr = build_true_csr(net)
+    starts = net.alive_nodes()[:40]
+    out = walk_batch(csr, starts, 25, seed=11)
+    again = walk_batch(csr, starts, 25, seed=11)
+    assert (out.paths == again.paths).all()
+    assert out.walkers == 40 and out.steps == 25
+    assert (out.paths[0] == csr.rows_of(np.asarray(starts))).all()
+    # Every transition is along a CSR edge (or a stay-put).
+    for w in range(0, 40, 5):
+        for s in range(25):
+            u, v = int(out.paths[s, w]), int(out.paths[s + 1, w])
+            row = csr.neighbor_rows[csr.indptr[u]:csr.indptr[u + 1]]
+            assert v == u or v in row.tolist()
+    other = walk_batch(csr, starts, 25, seed=12)
+    assert (out.paths != other.paths).any()  # seed actually matters
+
+
+def test_walk_batch_max_degree_self_loops():
+    net = SimNetwork(NetworkConfig(n=150, seed=7))
+    csr = build_true_csr(net)
+    starts = net.alive_nodes()[:64]
+    out = walk_batch(csr, starts, 50, seed=3, variant="max-degree")
+    assert ((out.messages + out.self_loops) == 50).all()
+    assert out.self_loops.sum() > 0  # 1 - d/dmax loops must occur
+    uniform = walk_batch(csr, starts, 50, seed=3, variant="uniform")
+    assert (uniform.messages == 50).all()  # uniform walks always move
+    assert (out.unique_counts() <= 51).all()
+    assert (out.unique_counts() >= 1).all()
+
+
+def test_walk_batch_input_validation():
+    net = SimNetwork(NetworkConfig(n=50, seed=7, require_connected=False))
+    csr = build_true_csr(net)
+    with pytest.raises(ValueError):
+        walk_batch(csr, [0], 5, seed=1, variant="levy")
+    with pytest.raises(ValueError):
+        walk_batch(csr, [10 ** 9], 5, seed=1)
+    with pytest.raises(ValueError):
+        walk_batch(csr, [0], -1, seed=1)
+    empty = walk_batch(csr, [], 5, seed=1)
+    assert empty.walkers == 0
+
+
+# -- adaptation-exhaustion satellite -----------------------------------------
+
+
+class _StuckMembership:
+    """Membership whose draws always land on the same node (id 7)."""
+
+    def sample_for(self, origin, k, rng):
+        rng.random()  # consume like a real draw
+        return [7] * k
+
+
+def test_adaptation_exhausted_signal():
+    net = SimNetwork(NetworkConfig(n=30, seed=4))
+    net.trace.enable(memory=True)
+    strategy = RandomStrategy(_StuckMembership())
+    rng = net.rngs.stream("random-strategy")
+    assert strategy._replacement(net, 0, {7}, rng) is None
+    events = [e for e in net.trace.events()
+              if e.kind == "access-adaptation-exhausted"]
+    assert len(events) == 1
+    assert events[0].fields["strategy"] == "RANDOM"
+    assert events[0].fields["draws"] == 4
+    assert net.metrics.counter("access.adaptation_exhausted").value == 1
+    # An eligible replacement emits no signal and bumps nothing.
+    assert strategy._replacement(net, 0, set(), rng) == 7
+    assert net.metrics.counter("access.adaptation_exhausted").value == 1
+
+
+def test_adaptation_exhausted_counts_on_both_backends():
+    for backend in ("sequential", "batched"):
+        net = SimNetwork(NetworkConfig(n=30, seed=4,
+                                       access_backend=backend))
+        strategy = RandomStrategy(_StuckMembership(), adaptation_retries=1)
+        stored = set()
+        strategy.advertise(net, 0, stored.add, 3)
+        assert net.metrics.counter("access.adaptation_exhausted").value > 0
