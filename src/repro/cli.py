@@ -27,6 +27,7 @@ from typing import Callable, Dict, List
 import repro.experiments as ex
 from repro.analysis import figure3_table, figure6_table
 from repro.experiments import format_pm, format_table
+from repro.quorum import BUILTIN_SYSTEMS, OBJECTIVES
 
 
 def _rep_kwargs(args) -> dict:
@@ -243,11 +244,42 @@ def _maint(args) -> str:
             f"{table}\n\n{chart}")
 
 
+def _quorum(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    points = ex.quorum_load_sweep(
+        systems=tuple(args.systems),
+        read_fractions=tuple(args.read_fractions),
+        n=args.n, m=args.quorum_nodes, optimize=args.optimize,
+        reps=args.reps, ops=args.lookups,
+        rep_backend=args.rep_backend)
+    table = format_table(
+        ["system", "fr", "pred load", "bound", "sim load", "gap", "CI ok",
+         "E|Qr|", "E|Qw|", "hit"],
+        [(p.system, p.read_fraction, p.predicted_load, p.load_lower_bound,
+          format_pm(p.simulated_load, p.simulated_load_hw), p.max_gap,
+          ("yes" if p.within_ci else "NO") if p.feasible else "-",
+          p.expected_read_size, p.expected_write_size, p.hit_ratio)
+         for p in points])
+    series = {}
+    for system in dict.fromkeys(p.system for p in points):
+        mine = [p for p in points if p.system == system and p.feasible]
+        series[f"{system} predicted"] = [
+            (p.read_fraction, p.predicted_load) for p in mine]
+        series[f"{system} simulated"] = [
+            (p.read_fraction, p.simulated_load) for p in mine]
+    chart = render_series(series, x_label="read fraction",
+                          y_label="system load")
+    return (f"Quorum algebra ({args.optimize}-optimized strategy vs "
+            f"simulation)\n{table}\n\n{chart}")
+
+
 FIGURES: Dict[str, Callable] = {
     "fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig14": _fig14,
     "fig15": _fig15, "fig16": _fig16, "maint": _maint,
+    "quorum": _quorum,
 }
 
 DESCRIPTIONS = {
@@ -266,6 +298,7 @@ DESCRIPTIONS = {
     "fig15": "lookup strategy trade-off curves",
     "fig16": "summary cost table",
     "maint": "maintenance degradation, refresh off vs adaptive",
+    "quorum": "algebraic quorum systems: optimized strategy vs simulation",
 }
 
 
@@ -405,6 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--manifest", metavar="PATH", default=None,
                        help="write a provenance manifest to PATH (default: "
                             "<trace>.manifest.json when --trace is given)")
+        if name == "quorum":
+            p.add_argument("--systems", nargs="+", metavar="NAME",
+                           choices=sorted(BUILTIN_SYSTEMS),
+                           default=["majority", "grid"],
+                           help="algebraic systems to sweep "
+                                f"({', '.join(sorted(BUILTIN_SYSTEMS))})")
+            p.add_argument("--optimize", choices=OBJECTIVES, default="load",
+                           help="strategy objective (default load)")
+            p.add_argument("--read-fractions", type=float, nargs="+",
+                           metavar="FR",
+                           default=[0.0, 0.25, 0.5, 0.75, 1.0],
+                           help="read fractions to sweep (0..1)")
+            p.add_argument("--quorum-nodes", type=int, default=9,
+                           metavar="M",
+                           help="replicas in the algebraic system "
+                                "(rounded to the system's natural shape)")
     return parser
 
 

@@ -313,6 +313,42 @@ class AccessStrategy(ABC):
 
 
 # ---------------------------------------------------------------------------
+# Routed-unicast access primitives (shared by membership-based strategies
+# and the algebraic systems in repro.quorum.access)
+# ---------------------------------------------------------------------------
+
+
+def routed_reach(net: SimNetwork, origin: int, target: int,
+                 result: AccessResult) -> bool:
+    """Route one application message ``origin -> target``, charging the
+    data and routing cost to ``result``; True on delivery."""
+    route = net.route(origin, target)
+    result.messages += route.data_messages
+    result.routing_messages += route.routing_messages
+    return route.success
+
+
+def routed_reply(net: SimNetwork, src: int, origin: int,
+                 result: AccessResult) -> bool:
+    """A storing node replies to the originator via routing.
+
+    Charges the reply cost, records the ``reply`` trace event, and
+    updates ``result.reply_delivered`` with sticky-success semantics (a
+    later failed reply never clears an earlier delivery).
+    """
+    reply = net.route(src, origin)
+    result.messages += reply.data_messages
+    result.routing_messages += reply.routing_messages
+    record_event(net, "reply", src=src, dst=origin,
+                 success=reply.success, mechanism="routed")
+    if reply.success:
+        result.reply_delivered = True
+    elif result.reply_delivered is None:
+        result.reply_delivered = False
+    return reply.success
+
+
+# ---------------------------------------------------------------------------
 # RANDOM (membership-based, Section 4.1)
 # ---------------------------------------------------------------------------
 
@@ -351,10 +387,7 @@ class RandomStrategy(AccessStrategy):
 
     def _reach(self, net: SimNetwork, origin: int, target: int,
                result: AccessResult) -> bool:
-        route = net.route(origin, target)
-        result.messages += route.data_messages
-        result.routing_messages += route.routing_messages
-        return route.success
+        return routed_reach(net, origin, target, result)
 
     def _replacement(self, net: SimNetwork, origin: int, reached: Set[int],
                      rng: random.Random, draws: int = 4) -> Optional[int]:
@@ -431,16 +464,7 @@ class RandomStrategy(AccessStrategy):
                             result.hit_node = current
                             result.hit_value = value
                         # Hit: the storing node replies via routing.
-                        reply = net.route(current, origin)
-                        result.messages += reply.data_messages
-                        result.routing_messages += reply.routing_messages
-                        record_event(net, "reply", src=current, dst=origin,
-                                     success=reply.success,
-                                     mechanism="routed")
-                        if reply.success:
-                            result.reply_delivered = True
-                        elif result.reply_delivered is None:
-                            result.reply_delivered = False
+                        routed_reply(net, current, origin, result)
                     break
                 attempts += 1
                 current = self._replacement(net, origin, reached, rng)

@@ -54,6 +54,11 @@ from repro.experiments.fig13_14_mobility import (
     churn_sweep,
     mobility_sweep,
 )
+from repro.experiments.fig_quorum import (
+    QuorumLoadPoint,
+    quorum_load_point,
+    quorum_load_sweep,
+)
 from repro.experiments.fig_maintenance import (
     MaintenancePoint,
     expected_intersection,
@@ -98,6 +103,7 @@ __all__ = [
     "PathPathPoint", "path_x_path",
     "ChurnPoint", "MobilityPoint", "churn_sweep", "mobility_sweep",
     "MaintenancePoint", "expected_intersection", "maintenance_curves",
+    "QuorumLoadPoint", "quorum_load_point", "quorum_load_sweep",
     "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
     "render_summary", "summary_table",
     "render_series",

@@ -45,7 +45,9 @@ import numpy as np
 
 from repro.experiments.common import ScenarioStats
 from repro.geometry.kernel import batched_neighbor_tables
+from repro.obs.audit import AuditError, AuditViolation
 from repro.obs.profile import PROFILER
+from repro.obs.trace import record_event
 from repro.sim.rng import derive_stream_seed, replica_seeds
 from repro.simnet.network import NetworkConfig, SimNetwork
 from repro.simnet.replication import TopologyRouteOracle
@@ -56,8 +58,17 @@ from repro.simnet.replication import TopologyRouteOracle
 #: listed: replicas share the world and vary only the workload.
 WORKLOAD_STREAMS: Tuple[str, ...] = (
     "random-strategy", "sampling-strategy", "path-strategy",
-    "random-opt-strategy", "access-policy", "drops",
+    "random-opt-strategy", "algebra-strategy", "access-policy", "drops",
 )
+
+#: Exception types a replica may raise for *workload* reasons and that
+#: ``on_error="skip"`` is allowed to absorb.  Anything else — including
+#: every :class:`~repro.obs.audit.AuditError`, which subclasses
+#: ``RuntimeError`` and is re-raised explicitly — propagates.  The old
+#: bare ``except Exception`` silently discarded strict-audit failures
+#: and coding bugs alike as "faulted replicas".
+REPLICA_ERRORS: Tuple[type, ...] = (
+    ArithmeticError, LookupError, OSError, RuntimeError, ValueError)
 
 #: ScenarioStats metrics aggregated across replicas.
 SCENARIO_METRICS: Tuple[str, ...] = (
@@ -288,6 +299,32 @@ def scenario_seed_list(base_seed: int, reps: int) -> List[int]:
     return [base_seed + 1] + replica_seeds(base_seed, reps - 1)
 
 
+def _record_faulted_replica(net: SimNetwork, index: int,
+                            exc: BaseException) -> None:
+    """Leave an audit trail for a replica skipped by ``on_error="skip"``.
+
+    The fault is recorded on every channel so none silently loses it: a
+    ``replica-fault`` trace event, the ``replication.faulted`` metrics
+    counter, and a violation on the network's auditor.  The violation is
+    appended directly rather than through ``flag()``: ``on_error="skip"``
+    is an explicit request to keep the campaign running, so strict mode
+    surfaces it in the violation summary instead of aborting — whereas a
+    genuine :class:`AuditError` from inside the replica is always
+    re-raised by the caller.
+    """
+    record_event(net, "replica-fault", replica=index,
+                 error=type(exc).__name__, detail=str(exc)[:200])
+    metrics = getattr(net, "metrics", None)
+    if metrics is not None:
+        metrics.counter("replication.faulted").inc()
+    auditor = getattr(net, "auditor", None)
+    if auditor is not None:
+        auditor.violations.append(AuditViolation(
+            code="replica-fault",
+            message=f"replica {index} skipped: {type(exc).__name__}: {exc}",
+            strategy="replication", kind="replica"))
+
+
 def _seed_workload_streams(net: SimNetwork, replica_index: int,
                            replica_seed: int) -> None:
     """Reseed the workload streams of one replica's network.
@@ -439,10 +476,15 @@ def run_replicated(
             try:
                 with PROFILER.phase("replication.replica"):
                     result = run_replica(net, seed)
-            except Exception:
+            except AuditError:
+                # An accounting violation is never workload noise; even
+                # on_error="skip" must not bury a strict-audit failure.
+                raise
+            except REPLICA_ERRORS as exc:
                 if plan.on_error == "raise":
                     raise
                 faulted += 1
+                _record_faulted_replica(net, index, exc)
                 continue
             stats.append(result)
             used_seeds.append(seed)
