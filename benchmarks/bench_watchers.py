@@ -1,0 +1,121 @@
+"""Live invariant watchers — overhead gate on the Figure-8 workload.
+
+Methodology: wall-clocking a watched run against an unwatched run is
+hopelessly noisy at the <5% scale this gate cares about (container
+scheduling drifts run times by 10-15%).  What the watchers *add* to a
+traced run is exactly hub delivery — ``hub.on_event`` per recorded
+event plus ``finish()`` — so the gate times that addition directly:
+
+1. capture the bench_fig8 event stream once (one traced run),
+2. time the traced run itself (min over repetitions, CPU time),
+3. time delivering the captured stream through every builtin watcher
+   (min over repetitions — a tight, repeatable loop),
+4. gate: delivery time < 5% of the traced-run time.
+
+The trace-off run time is also recorded: event *delivery* rides on
+event *recording*, and enabling tracing at all costs far more than the
+watchers do.  That number keeps the full ``--watch`` price visible in
+``BENCH_simnet.json`` (block ``"watchers"``); the gate covers the part
+this subsystem adds.
+"""
+
+import json
+import math
+import time
+
+from conftest import BENCH_TIMINGS_PATH, FULL_SCALE, N_KEYS, N_LOOKUPS, record_result
+
+from repro.core.strategies import RandomStrategy
+from repro.experiments.common import make_membership, make_network, run_scenario
+from repro.obs.watch import WatcherHub, builtin_watchers
+
+BENCH_N = 1500 if FULL_SCALE else 800
+ROUNDS = 5           # min-of-R: robust to scheduler noise
+DELIVERY_ROUNDS = 7
+MAX_OVERHEAD_PCT = 5.0
+
+
+def _workload(net, seed: int) -> None:
+    root = math.sqrt(BENCH_N)
+    strategy = RandomStrategy(make_membership(net, "random"))
+    run_scenario(net, strategy, strategy,
+                 advertise_size=round(1.5 * root),
+                 lookup_size=round(1.15 * root),
+                 n_keys=N_KEYS, n_lookups=N_LOOKUPS, seed=seed)
+
+
+def _timed_run(mode: str, seed: int = 1) -> float:
+    net = make_network(BENCH_N, seed=seed)
+    if mode == "trace":
+        net.trace.enable(memory=False)
+    start = time.process_time()
+    _workload(net, seed)
+    return time.process_time() - start
+
+
+def _capture_stream(seed: int = 1) -> list:
+    net = make_network(BENCH_N, seed=seed)
+    net.trace.enable(memory=True, retention=1 << 22)
+    _workload(net, seed)
+    return net.trace.events()
+
+
+def test_watcher_overhead_gate(record):
+    events = _capture_stream()
+
+    _timed_run("off")  # warm numpy kernels/caches off the clock
+    base_off = min(_timed_run("off") for _ in range(ROUNDS))
+    base_trace = min(_timed_run("trace") for _ in range(ROUNDS))
+
+    delivery = 9e9
+    hub = None
+    for _ in range(DELIVERY_ROUNDS):
+        hub = WatcherHub(builtin_watchers(n=BENCH_N))
+        on_event = hub.on_event
+        start = time.process_time()
+        for event in events:
+            on_event(event)
+        hub.finish()
+        delivery = min(delivery, time.process_time() - start)
+        # The timed hub must have actually watched: every builtin
+        # attached, the full stream delivered, and the workload clean.
+        assert len(hub.watchers) == 4
+        assert hub.events_seen == len(events)
+        assert hub.clean, hub.violations[:5]
+
+    overhead_pct = 100.0 * delivery / base_trace
+    delivery_pct = 100.0 * (base_trace / base_off - 1.0)
+
+    entry = {
+        "n": BENCH_N,
+        "n_keys": N_KEYS,
+        "n_lookups": N_LOOKUPS,
+        "events": len(events),
+        "rounds": ROUNDS,
+        "baseline_seconds": round(base_off, 4),
+        "trace_seconds": round(base_trace, 4),
+        "watch_delivery_seconds": round(delivery, 4),
+        "ns_per_event": round(delivery / len(events) * 1e9),
+        "watcher_overhead_pct": round(overhead_pct, 2),
+        "trace_delivery_pct": round(delivery_pct, 2),
+        "gate_pct": MAX_OVERHEAD_PCT,
+    }
+    payload = {}
+    if BENCH_TIMINGS_PATH.exists():
+        try:
+            payload = json.loads(BENCH_TIMINGS_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["watchers"] = entry
+    BENCH_TIMINGS_PATH.write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")
+    record_result("watcher_overhead", json.dumps(entry, indent=2))
+    print(f"\n[watchers] n={BENCH_N}: {len(events)} events; trace-off "
+          f"{base_off:.3f}s, traced {base_trace:.3f}s, watch delivery "
+          f"{delivery * 1000:.1f}ms ({entry['ns_per_event']} ns/event) -> "
+          f"{overhead_pct:.2f}% of the traced run "
+          f"(tracing itself: +{delivery_pct:.1f}%)")
+
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"all-watchers-on delivery is {overhead_pct:.2f}% of the traced "
+        f"bench_fig8 run (gate {MAX_OVERHEAD_PCT}%)")

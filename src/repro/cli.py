@@ -323,6 +323,11 @@ def collect_report(results_dir: str) -> str:
 ENV_VARS = {
     "REPRO_TRACE": "stream simulation events as JSONL to this path",
     "REPRO_AUDIT": "accounting audit mode: strict (raise) or record",
+    "REPRO_WATCH": "1 attaches every live invariant watcher; a comma "
+                   "list (e.g. conservation,slo) selects a subset",
+    "REPRO_SLO": "JSON SLO spec file evaluated live by the watchers",
+    "REPRO_HIST_CAPACITY": "bound every metrics histogram to a reservoir "
+                           "of this size (default: exact, unbounded)",
     "REPRO_PROFILE": "1 enables the phase profiler (table on stderr)",
     "REPRO_JOBS": "default parallel sweep workers",
     "REPRO_MANIFEST_DIR": "directory for per-sweep provenance manifests",
@@ -339,6 +344,7 @@ OBS_COMMANDS = {
     "summarize": "per-access-kind counts and latency percentiles",
     "timeline": "ordered events of one access (--access N)",
     "diff": "compare two trace summaries",
+    "watch": "replay a trace through the invariant watchers / SLO monitor",
 }
 
 FAULTS_COMMANDS = {
@@ -362,11 +368,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
         "summarize", help=OBS_COMMANDS["summarize"])
-    summarize.add_argument("trace", help="JSONL trace file (from --trace)")
+    summarize.add_argument("trace",
+                           help="JSONL trace file (from --trace), or - "
+                                "to read a piped trace from stdin")
     summarize.add_argument("--json", action="store_true",
                            help="emit the summary as JSON instead of a table")
     timeline = obs_sub.add_parser("timeline", help=OBS_COMMANDS["timeline"])
-    timeline.add_argument("trace", help="JSONL trace file")
+    timeline.add_argument("trace", help="JSONL trace file, or - for stdin")
     timeline.add_argument("--access", type=int, required=True,
                           metavar="N", help="0-based access ordinal")
     diff = obs_sub.add_parser("diff", help=OBS_COMMANDS["diff"])
@@ -374,6 +382,23 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("trace_b", help="candidate JSONL trace")
     diff.add_argument("--fail-on-change", action="store_true",
                       help="exit 1 when the summaries differ")
+    watch = obs_sub.add_parser("watch", help=OBS_COMMANDS["watch"])
+    watch.add_argument("trace", help="JSONL trace file, or - for stdin")
+    watch.add_argument("--slo", metavar="FILE", default=None,
+                       help="JSON SLO spec file to evaluate alongside the "
+                            "invariant watchers")
+    watch.add_argument("--n", type=int, default=None,
+                       help="network size for the quorum-intersection "
+                            "watcher (default: the trace's sibling "
+                            "manifest, params.n)")
+    watch.add_argument("--fail-on-violation", action="store_true",
+                       help="exit 1 when any watcher reports a violation")
+    watch.add_argument("--report", metavar="PATH", default=None,
+                       help="write the machine-readable verdict report "
+                            "here (default: <trace>.verdict.json; pass "
+                            "'none' to skip)")
+    watch.add_argument("--json", action="store_true",
+                       help="print the verdict as JSON instead of text")
     faults = sub.add_parser(
         "faults", help="deterministic fault-injection campaigns")
     faults_sub = faults.add_subparsers(dest="faults_command", required=True)
@@ -390,6 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
                       default="adaptive", help="refresh daemon mode")
     frun.add_argument("--trace", metavar="PATH", default=None,
                       help="stream simulation events as JSONL to PATH")
+    frun.add_argument("--watch", action="store_true",
+                      help="run every live invariant watcher on the "
+                           "campaign's trace stream")
+    frun.add_argument("--slo", metavar="FILE", default=None,
+                      help="JSON SLO spec file evaluated live")
+    frun.add_argument("--fail-on-violation", action="store_true",
+                      help="exit 1 when a watcher reports a violation")
     faults_sub.add_parser("list", help=FAULTS_COMMANDS["list"])
     fshow = faults_sub.add_parser("show", help=FAULTS_COMMANDS["show"])
     fshow.add_argument("campaign", help="builtin name or JSON schema path")
@@ -438,6 +470,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--manifest", metavar="PATH", default=None,
                        help="write a provenance manifest to PATH (default: "
                             "<trace>.manifest.json when --trace is given)")
+        p.add_argument("--watch", action="store_true",
+                       help="attach the live invariant watchers to every "
+                            "network the figure builds (REPRO_WATCH=1)")
+        p.add_argument("--slo", metavar="FILE", default=None,
+                       help="JSON SLO spec file evaluated live by the "
+                            "watchers (REPRO_SLO)")
+        p.add_argument("--fail-on-violation", action="store_true",
+                       help="exit 1 when a watcher reports a violation")
         if name == "quorum":
             p.add_argument("--systems", nargs="+", metavar="NAME",
                            choices=sorted(BUILTIN_SYSTEMS),
@@ -457,9 +497,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_obs_watch(args) -> int:
+    from repro.obs.query import check_trace_schema
+    from repro.obs.slo import load_slo_specs, verdict_path_for, write_verdict_report
+    from repro.obs.watch import replay_trace, resolve_trace_n
+
+    check_trace_schema(args.trace)
+    n = args.n
+    if n is None and args.trace != "-":
+        n = resolve_trace_n(args.trace)
+    slo_specs = None
+    if args.slo:
+        try:
+            slo_specs = load_slo_specs(args.slo)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = replay_trace(args.trace, n=n, slo_specs=slo_specs)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(result.report())
+    report_path = args.report
+    if report_path != "none" and (report_path or args.trace != "-"):
+        report_path = report_path or verdict_path_for(args.trace)
+        write_verdict_report(report_path, result.to_jsonable())
+        print(f"[verdict] report written to {report_path}", file=sys.stderr)
+    if args.fail_on_violation and not result.clean:
+        return 1
+    return 0
+
+
 def _run_obs(args) -> int:
     from repro.obs.query import (
         access_timeline,
+        check_trace_schema,
         diff_summaries,
         render_diff,
         render_summary,
@@ -468,7 +544,10 @@ def _run_obs(args) -> int:
         summary_to_jsonable,
     )
 
+    if args.obs_command == "watch":
+        return _run_obs_watch(args)
     if args.obs_command == "summarize":
+        check_trace_schema(args.trace)
         summary = summarize_trace(args.trace)
         if args.json:
             print(json.dumps(summary_to_jsonable(summary), indent=2,
@@ -477,6 +556,7 @@ def _run_obs(args) -> int:
             print(render_summary(summary))
         return 0
     if args.obs_command == "timeline":
+        check_trace_schema(args.trace)
         try:
             events = access_timeline(args.trace, args.access)
         except ValueError as exc:
@@ -495,6 +575,7 @@ def _run_obs(args) -> int:
 
 def _run_faults(args) -> int:
     from repro.faults import BUILTIN_CAMPAIGNS, load_campaign, run_fault_campaign
+    from repro.obs.audit import AuditError
 
     if args.faults_command == "list":
         print("builtin campaigns:")
@@ -513,16 +594,41 @@ def _run_faults(args) -> int:
     # run
     if args.trace:
         os.environ["REPRO_TRACE"] = args.trace
+    slo_specs = None
+    if args.slo:
+        from repro.obs.slo import load_slo_specs
+        try:
+            slo_specs = load_slo_specs(args.slo)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 2
     try:
         report = run_fault_campaign(
             campaign=args.campaign, n=args.n, seed=args.seed,
-            n_keys=args.keys, n_lookups=args.lookups, refresh=args.refresh)
+            n_keys=args.keys, n_lookups=args.lookups, refresh=args.refresh,
+            watch=args.watch, slo_specs=slo_specs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except AuditError as exc:
+        # REPRO_AUDIT=strict turns the first watcher violation into a
+        # raise mid-campaign; surface it as the gate it is.
+        print(f"watch violation (strict audit): {exc}", file=sys.stderr)
+        return 1
     print("\n".join(report.lines()))
     if args.trace:
         print(f"[trace] events written to {args.trace}", file=sys.stderr)
+    if report.watch is not None:
+        from repro.obs.slo import verdict_path_for, write_verdict_report
+        payload = dict(report.watch)
+        payload["violations"] = [str(v) for v in report.watch_violations]
+        payload["ok"] = report.watch_clean
+        if args.trace:
+            path = verdict_path_for(args.trace)
+            write_verdict_report(path, payload)
+            print(f"[verdict] report written to {path}", file=sys.stderr)
+        if args.fail_on_violation and not report.watch_clean:
+            return 1
     return 0
 
 
@@ -584,6 +690,13 @@ def main(argv: List[str] = None) -> int:
         # the ones constructed inside sweep pool workers, which inherit
         # the environment and append to the same flock-serialized file.
         os.environ["REPRO_TRACE"] = args.trace
+    watching = getattr(args, "watch", False) or getattr(args, "slo", None)
+    if watching:
+        # Same mechanism: every network (pool workers included) attaches
+        # the watchers from the environment.
+        os.environ["REPRO_WATCH"] = "1"
+        if getattr(args, "slo", None):
+            os.environ["REPRO_SLO"] = args.slo
     started = time.perf_counter()
     print(FIGURES[args.command](args))
     wall = time.perf_counter() - started
@@ -593,9 +706,50 @@ def main(argv: List[str] = None) -> int:
         path = _write_figure_manifest(args, wall)
         print(f"[manifest] run provenance written to {path}",
               file=sys.stderr)
+    rc = 0
+    if watching:
+        rc = _report_live_watch(args)
     from repro.obs.profile import PROFILER
     if PROFILER.enabled:
         print(f"\n{PROFILER.render()}", file=sys.stderr)
+    return rc
+
+
+def _report_live_watch(args) -> int:
+    """Post-run verdict for a figure run under ``--watch``/``--slo``.
+
+    In-process violations land on the session ledger; with ``--trace``
+    the recorded file is additionally replayed through fresh watchers —
+    the cross-process collector for pool workers — and the verdict is
+    written beside the manifest.
+    """
+    from repro.obs.watch import SESSION_VIOLATIONS
+
+    violations = [str(v) for v in SESSION_VIOLATIONS]
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs.slo import load_slo_specs, verdict_path_for, write_verdict_report
+        from repro.obs.watch import replay_trace, resolve_trace_n
+
+        slo_specs = (load_slo_specs(args.slo)
+                     if getattr(args, "slo", None) else None)
+        result = replay_trace(trace_path, n=resolve_trace_n(trace_path),
+                              slo_specs=slo_specs)
+        payload = result.to_jsonable()
+        payload["live_violations"] = violations
+        violations = violations + [v for v in payload["violations"]
+                                   if v not in violations]
+        path = verdict_path_for(trace_path)
+        write_verdict_report(path, payload)
+        print(f"[verdict] report written to {path}", file=sys.stderr)
+    if violations:
+        print(f"[watch] {len(violations)} violation(s):", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        if getattr(args, "fail_on_violation", False):
+            return 1
+    else:
+        print("[watch] clean", file=sys.stderr)
     return 0
 
 

@@ -45,16 +45,30 @@ def _live_trace(net: SimNetwork):
 
 
 def _traced_store(net: SimNetwork, trace, store_fn: StoreFn) -> StoreFn:
+    # Services annotate callbacks with the key they operate on
+    # (``access_key``); watchers use it to cross-check replies against
+    # prior stores.  Absent on bare callbacks — events stay keyless.
+    key = getattr(store_fn, "access_key", None)
+
     def wrapped(node: int) -> None:
         store_fn(node)
-        trace.record("store", net.now, node=node)
+        if key is not None:
+            trace.record("store", net.now, node=node, key=key)
+        else:
+            trace.record("store", net.now, node=node)
     return wrapped
 
 
 def _traced_probe(net: SimNetwork, trace, probe_fn: ProbeFn) -> ProbeFn:
+    key = getattr(probe_fn, "access_key", None)
+
     def wrapped(node: int) -> Optional[Any]:
         value = probe_fn(node)
-        trace.record("probe", net.now, node=node, hit=value is not None)
+        if key is not None:
+            trace.record("probe", net.now, node=node,
+                         hit=value is not None, key=key)
+        else:
+            trace.record("probe", net.now, node=node, hit=value is not None)
         return value
     return wrapped
 
@@ -259,9 +273,12 @@ class AccessStrategy(ABC):
         trace = _live_trace(net)
         mark = trace.mark() if trace is not None else None
         started = net.now
+        access_key = getattr(callback, "access_key", None)
         if trace is not None:
+            extra = {} if access_key is None else {"key": access_key}
             trace.record("access-start", started, strategy=self.name,
-                         access=kind, origin=origin, target_size=target_size)
+                         access=kind, origin=origin,
+                         target_size=target_size, **extra)
             if kind == "advertise":
                 callback = _traced_store(net, trace, callback)
             else:
@@ -275,6 +292,7 @@ class AccessStrategy(ABC):
                 result = impl(net, origin, callback, target_size)
         result.latency = net.now - started
         if trace is not None:
+            extra = {} if access_key is None else {"key": access_key}
             trace.record("access-end", net.now, strategy=self.name,
                          access=kind, origin=origin,
                          messages=result.messages,
@@ -282,7 +300,7 @@ class AccessStrategy(ABC):
                          success=result.success,
                          found=result.found,
                          reply=result.reply_delivered,
-                         quorum=result.quorum_size)
+                         quorum=result.quorum_size, **extra)
         _publish_access_metrics(net, result)
         auditor = getattr(net, "auditor", None)
         if auditor is not None and mark is not None:

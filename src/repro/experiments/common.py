@@ -231,6 +231,12 @@ def run_scenario(
                 stats.reply_drops += 1
         else:
             stats.lookup_messages_miss.append(access.messages)
+
+    # End-of-run checks for any live watcher hub (REPRO_WATCH / --watch):
+    # SLO partial windows and stream-final invariants evaluate here.
+    hub = getattr(net, "watch_hub", None)
+    if hub is not None:
+        hub.finish()
     return stats
 
 

@@ -12,8 +12,8 @@ with the same arguments produce byte-identical trace summaries.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
 
 from repro.core.biquorum import ProbabilisticBiquorum
 from repro.core.strategies import AccessPolicy, RandomStrategy, UniquePathStrategy
@@ -46,10 +46,17 @@ class CampaignReport:
     refresh_lost: int
     refresh_interval_updates: int
     refresh_interval: Optional[float]
+    #: Live watcher outcome (``--watch``); None when watchers were off.
+    watch: Optional[dict] = None
+    watch_violations: List[Any] = field(default_factory=list)
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def watch_clean(self) -> Optional[bool]:
+        return None if self.watch is None else not self.watch_violations
 
     def lines(self) -> list:
         return [
@@ -66,7 +73,11 @@ class CampaignReport:
             f"interval_updates={self.refresh_interval_updates}"
             + (f" interval={self.refresh_interval:.4g}s"
                if self.refresh_interval is not None else ""),
-        ]
+        ] + ([] if self.watch is None else [
+            f"watch: events={self.watch.get('events', 0)} "
+            f"violations={len(self.watch_violations)} "
+            + ("CLEAN" if self.watch_clean else "VIOLATED"),
+        ])
 
 
 def run_fault_campaign(
@@ -83,8 +94,17 @@ def run_fault_campaign(
     min_intersection: float = 0.9,
     policy: Optional[AccessPolicy] = AccessPolicy(
         deadline=5.0, max_retries=2),
+    watch: bool = False,
+    slo_specs: Optional[list] = None,
 ) -> CampaignReport:
-    """Run the workload-under-faults scenario; returns a report."""
+    """Run the workload-under-faults scenario; returns a report.
+
+    ``watch=True`` attaches every builtin invariant watcher (see
+    :mod:`repro.obs.watch`) to the live trace stream; ``slo_specs``
+    additionally evaluates SLO specs via a live
+    :class:`~repro.obs.slo.SloMonitor`.  The report then carries the
+    hub's result (``report.watch`` / ``report.watch_violations``).
+    """
     if isinstance(campaign, str):
         campaign = load_campaign(campaign)
     if refresh not in ("adaptive", "static", "off"):
@@ -93,6 +113,11 @@ def run_fault_campaign(
         duration = campaign.duration + 10.0
 
     net = SimNetwork(NetworkConfig(n=n, avg_degree=avg_degree, seed=seed))
+    hub = None
+    if watch or slo_specs:
+        from repro.obs.watch import attach_watchers, builtin_watchers
+        watchers = builtin_watchers(n=net.n_alive) if watch else []
+        hub = attach_watchers(net, watchers=watchers, slo_specs=slo_specs)
     membership = RandomMembership(net)
     size = max(1, int(round(math.sqrt(n * math.log(1.0 / epsilon)))))
     advertise = RandomStrategy(membership).set_policy(policy)
@@ -137,6 +162,13 @@ def run_fault_campaign(
     if daemon is not None:
         daemon.stop()
     membership.stop()
+    watch_result = None
+    watch_violations: List[Any] = []
+    if hub is not None:
+        hub.finish()
+        hub.detach()
+        watch_result = hub.result()
+        watch_violations = list(hub.violations)
 
     metrics = net.metrics
     return CampaignReport(
@@ -159,4 +191,6 @@ def run_fault_campaign(
         refresh_interval_updates=(daemon.stats.interval_updates
                                   if daemon else 0),
         refresh_interval=daemon.interval if daemon else None,
+        watch=watch_result,
+        watch_violations=watch_violations,
     )

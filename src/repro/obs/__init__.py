@@ -19,7 +19,7 @@ from repro.obs.manifest import (
     RunManifest,
     collect_manifest,
 )
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, P2Quantile
 from repro.obs.profile import (
     PROFILER,
     PhaseProfiler,
@@ -30,6 +30,7 @@ from repro.obs.query import (
     AccessAggregate,
     TraceSummary,
     access_timeline,
+    check_trace_schema,
     diff_summaries,
     iter_trace,
     render_diff,
@@ -38,13 +39,31 @@ from repro.obs.query import (
     summarize_trace,
     summary_to_jsonable,
 )
+from repro.obs.slo import (
+    SloMonitor,
+    SloSpec,
+    load_slo_specs,
+)
 from repro.obs.trace import (
     MESSAGE_KINDS,
     ROUTING_KINDS,
+    TRACE_SCHEMA,
     EventTrace,
     TraceEvent,
     TraceTruncated,
     record_event,
+)
+from repro.obs.watch import (
+    ConservationWatcher,
+    MonotonicityWatcher,
+    NoFabricationWatcher,
+    QuorumIntersectionWatcher,
+    ReplayResult,
+    Watcher,
+    WatcherHub,
+    attach_watchers,
+    builtin_watchers,
+    replay_trace,
 )
 
 __all__ = [
@@ -52,25 +71,40 @@ __all__ = [
     "AccountingAuditor",
     "AuditError",
     "AuditViolation",
+    "ConservationWatcher",
     "Counter",
     "EventTrace",
     "Histogram",
     "MANIFEST_SCHEMA",
     "MESSAGE_KINDS",
     "MetricsRegistry",
+    "MonotonicityWatcher",
+    "NoFabricationWatcher",
+    "P2Quantile",
     "PROFILER",
     "PhaseProfiler",
+    "QuorumIntersectionWatcher",
     "ROUTING_KINDS",
+    "ReplayResult",
     "RunManifest",
+    "SloMonitor",
+    "SloSpec",
+    "TRACE_SCHEMA",
     "TraceEvent",
     "TraceSummary",
     "TraceTruncated",
+    "Watcher",
+    "WatcherHub",
     "access_timeline",
+    "attach_watchers",
     "audit_access",
     "auditor_from_env",
+    "builtin_watchers",
+    "check_trace_schema",
     "collect_manifest",
     "diff_summaries",
     "iter_trace",
+    "load_slo_specs",
     "own_events",
     "profile_enabled_from_env",
     "profiled",
@@ -78,6 +112,7 @@ __all__ = [
     "render_diff",
     "render_summary",
     "render_timeline",
+    "replay_trace",
     "summarize_trace",
     "summary_to_jsonable",
 ]

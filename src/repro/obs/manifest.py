@@ -33,8 +33,11 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.obs.trace import TRACE_SCHEMA
+
 #: Bumped when the manifest layout changes incompatibly.
-MANIFEST_SCHEMA = 1
+#: History: 1 = PR 4 layout; 2 = adds ``trace_schema``.
+MANIFEST_SCHEMA = 2
 
 
 @functools.lru_cache(maxsize=1)
@@ -89,6 +92,10 @@ class RunManifest:
     started_at: str = ""                      # UTC ISO-8601
     wall_time_s: Optional[float] = None
     schema: int = MANIFEST_SCHEMA
+    #: Version of the traced event vocabulary the run emitted (see
+    #: :data:`repro.obs.trace.TRACE_SCHEMA`); ``obs`` tools compare it
+    #: against their own and warn before diagnosing an old trace.
+    trace_schema: int = TRACE_SCHEMA
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -16,7 +16,95 @@ numbers instead of re-deriving them ad hoc:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Union
+import os
+import random
+import zlib
+from typing import Dict, List, Optional, Union
+
+
+class P2Quantile:
+    """Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+
+    O(1) memory and O(1) per observation: five markers track the target
+    quantile, its neighbours, and the extremes, adjusted with a
+    piecewise-parabolic fit.  Exact for the first five observations
+    (they are simply sorted); the estimate converges for larger streams.
+    Shared by the SLO monitor's sliding windows and the bounded
+    histogram mode.
+    """
+
+    __slots__ = ("q", "_n", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self._n = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._rates = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def observe(self, value: float) -> None:
+        self._n += 1
+        if self._n <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self._n == 5:
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0 + 4.0 * r for r in self._rates]
+            return
+        h, pos = self._heights, self._positions
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._rates[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - pos[i]
+            if ((delta >= 1.0 and pos[i + 1] - pos[i] > 1.0)
+                    or (delta <= -1.0 and pos[i - 1] - pos[i] < -1.0)):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] += step * ((h[i + int(step)] - h[i])
+                                    / (pos[i + int(step)] - pos[i]))
+                pos[i] += step
+        return
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + step / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + step) * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - step) * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1]))
+
+    def value(self) -> float:
+        """Current estimate of the target quantile; NaN when empty."""
+        if self._n == 0:
+            return math.nan
+        if self._n <= 5:
+            ordered = self._heights
+            rank = max(0, min(len(ordered) - 1,
+                              int(math.ceil(self.q * len(ordered))) - 1))
+            return ordered[rank]
+        return self._heights[2]
 
 
 class Counter:
@@ -38,52 +126,104 @@ class Counter:
 class Histogram:
     """A value distribution with summary statistics.
 
-    Raw observations are retained (simulation scale makes this cheap),
-    so exact quantiles are available.  An **empty** histogram reports
-    ``nan`` for mean/min/max/percentiles (never raises), so summaries
-    of runs with zero observations — e.g. a trace with no lookups —
-    render cleanly instead of inventing a 0.0 latency.
+    By default raw observations are retained (simulation scale makes
+    this cheap) and quantiles are exact — nearest-rank over a sorted
+    order that is **cached** between observations, so repeated
+    ``percentile()`` calls do not re-sort.  An **empty** histogram
+    reports ``nan`` for mean/min/max/percentiles (never raises), so
+    summaries of runs with zero observations — e.g. a trace with no
+    lookups — render cleanly instead of inventing a 0.0 latency.
+
+    Million-op service runs can opt into a **bounded** mode
+    (``bounded=True``): count/sum/min/max stay exact and O(1), while
+    quantiles come from a fixed-size uniform reservoir (Vitter's
+    Algorithm R, seeded deterministically from the metric name), so
+    memory no longer grows with the stream.  The exact mode stays the
+    default for figure parity.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_sorted", "_bounded", "_capacity",
+                 "_count", "_sum", "_min", "_max", "_rng")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, bounded: bool = False,
+                 capacity: int = 4096) -> None:
+        if bounded and capacity < 1:
+            raise ValueError("bounded histogram capacity must be >= 1")
         self.name = name
         self.values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._bounded = bounded
+        self._capacity = capacity
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        # Deterministic per-name reservoir stream: seeded runs stay
+        # reproducible (hash() is process-salted; crc32 is not).
+        self._rng = (random.Random(zlib.crc32(name.encode("utf-8")))
+                     if bounded else None)
+
+    @property
+    def bounded(self) -> bool:
+        return self._bounded
 
     def observe(self, value: float) -> None:
-        self.values.append(value)
+        self._sorted = None
+        if not self._bounded:
+            self.values.append(value)
+            return
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self.values) < self._capacity:
+            self.values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._capacity:
+                self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count if self._bounded else len(self.values)
 
     @property
     def sum(self) -> float:
-        return sum(self.values)
+        return self._sum if self._bounded else sum(self.values)
 
     @property
     def mean(self) -> float:
-        return self.sum / len(self.values) if self.values else math.nan
+        count = self.count
+        return self.sum / count if count else math.nan
 
     @property
     def min(self) -> float:
+        if self._bounded:
+            return self._min if self._count else math.nan
         return min(self.values) if self.values else math.nan
 
     @property
     def max(self) -> float:
+        if self._bounded:
+            return self._max if self._count else math.nan
         return max(self.values) if self.values else math.nan
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile (nearest-rank), q in [0, 100].
+        """q-th percentile (nearest-rank), q in [0, 100].
 
-        ``nan`` on an empty histogram (range checking still applies).
+        Exact in the default mode; reservoir-approximate in bounded
+        mode once the stream exceeds the capacity.  ``nan`` on an empty
+        histogram (range checking still applies).
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         if not self.values:
             return math.nan
-        ordered = sorted(self.values)
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1,
                           int(math.ceil(q / 100.0 * len(ordered))) - 1))
         return ordered[rank]
@@ -94,9 +234,22 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms with a stable snapshot format."""
+    """Named counters and histograms with a stable snapshot format.
 
-    def __init__(self) -> None:
+    ``bounded_capacity`` opts every histogram into the bounded
+    (reservoir) mode with that capacity; the default (None, or the
+    ``REPRO_HIST_CAPACITY`` env var) keeps the exact mode so figure
+    numbers are bit-identical to the historical ones.
+    """
+
+    def __init__(self, bounded_capacity: Optional[int] = None) -> None:
+        if bounded_capacity is None:
+            env = os.environ.get("REPRO_HIST_CAPACITY", "").strip()
+            if env:
+                bounded_capacity = int(env)
+        if bounded_capacity is not None and bounded_capacity < 1:
+            raise ValueError("bounded_capacity must be >= 1")
+        self.bounded_capacity = bounded_capacity
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
 
@@ -119,7 +272,12 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            if self.bounded_capacity is not None:
+                histogram = Histogram(name, bounded=True,
+                                      capacity=self.bounded_capacity)
+            else:
+                histogram = Histogram(name)
+            self._histograms[name] = histogram
         return histogram
 
     def reset(self) -> None:

@@ -27,21 +27,53 @@ from __future__ import annotations
 
 import json
 import math
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.metrics import Histogram
-from repro.obs.trace import MESSAGE_KINDS, ROUTING_KINDS
+from repro.obs.trace import MESSAGE_KINDS, ROUTING_KINDS, TRACE_SCHEMA
 
 PathOrLines = Union[str, Iterable[str]]
 
 
 def _iter_lines(source: PathOrLines) -> Iterator[str]:
     if isinstance(source, str):
+        if source == "-":
+            # Live pipe: `repro fig8 --trace /dev/stdout | repro obs
+            # summarize -` (and friends).
+            yield from sys.stdin
+            return
         with open(source, "r") as handle:
             yield from handle
     else:
         yield from source
+
+
+def check_trace_schema(trace_path: str) -> Optional[int]:
+    """Warn on stderr when a trace was recorded under another schema.
+
+    Reads the sibling ``<trace>.manifest.json``; silent when there is
+    no manifest (or no path — stdin).  Manifests predating the stamp
+    count as schema 1.  Returns the recorded schema, or ``None`` when
+    unknown.
+    """
+    if not isinstance(trace_path, str) or trace_path == "-":
+        return None
+    try:
+        with open(trace_path + ".manifest.json") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    recorded = manifest.get("trace_schema", 1)
+    if recorded != TRACE_SCHEMA:
+        print(f"warning: trace {trace_path} was recorded under trace "
+              f"schema {recorded}; these tools expect {TRACE_SCHEMA} — "
+              f"fields added since may be missing from old events",
+              file=sys.stderr)
+    return recorded
 
 
 def iter_trace(source: PathOrLines) -> Iterator[Optional[Dict[str, Any]]]:

@@ -38,6 +38,15 @@ ROUTING_KINDS = frozenset({"routing"})
 #: Default in-memory retention (events); old events fall off the left.
 DEFAULT_RETENTION = 262_144
 
+#: Version of the traced event vocabulary/payloads.  Bumped whenever the
+#: emitted event stream changes shape (new kinds, new or renamed payload
+#: fields); manifests stamp it so ``obs`` tools can warn before
+#: diagnosing a trace recorded under an older schema.
+#:
+#: History: 1 = PR 2-7 event set; 2 = ``key`` payload on
+#: store/probe/access-start/access-end events (live invariant watchers).
+TRACE_SCHEMA = 2
+
 #: Trace close failures absorbed during GC (see ``Trace.__del__``).  The
 #: auditor is unreachable from a finalizer, so a module counter is the
 #: ledger; it should stay 0 in any healthy run.
@@ -49,7 +58,7 @@ def close_failures() -> int:
     return _CLOSE_FAILURES
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One typed simulation event."""
 
@@ -87,6 +96,13 @@ class EventTrace:
         self._writer: Optional[IO[str]] = None
         self._jsonl_path: Optional[str] = None
         self._lock_writes = False
+        #: Live subscribers: each registered callable receives every
+        #: recorded :class:`TraceEvent`, synchronously, after it has been
+        #: retained/written.  This is the watcher delivery path (see
+        #: :mod:`repro.obs.watch`); exception isolation is the
+        #: *subscriber's* job — a raise from here propagates into the
+        #: simulation (which is exactly what strict-mode watchers want).
+        self._subscribers: List[Any] = []
         #: Ambient fields stamped onto every recorded event (payload
         #: fields win on collision).  The replication engine sets
         #: ``{"replica": r}`` here so multi-replica traces stay
@@ -142,6 +158,27 @@ class EventTrace:
             # are still counted so tests can assert none occurred.
             _CLOSE_FAILURES += 1
 
+    # -- subscribers -------------------------------------------------------
+
+    def subscribe(self, callback: Any) -> Any:
+        """Register a live event subscriber; returns the callback.
+
+        The callback is invoked synchronously with every recorded
+        :class:`TraceEvent` (retention and JSONL output have already
+        happened).  Subscribing does not enable the trace — call
+        :meth:`enable` (``memory=False`` suffices) so events flow.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Any) -> None:
+        """Remove a subscriber; missing callbacks are ignored."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
     # -- recording ---------------------------------------------------------
 
     def record(self, kind: str, t: float, /, **fields: Any) -> int:
@@ -159,7 +196,13 @@ class EventTrace:
             self._events.append(event)
         if self._writer is not None:
             self._write_line(event.to_json() + "\n")
+        if self._subscribers:
+            for subscriber in self._subscribers:
+                subscriber(event)
         return seq
+
+    #: Alias: ``emit`` is the subscriber-facing name for :meth:`record`.
+    emit = record
 
     def _write_line(self, line: str) -> None:
         """One whole JSONL record, written atomically w.r.t. co-writers."""

@@ -148,6 +148,9 @@ class LocationService:
                 key=key, value=value, version=version, origin=origin,
                 stored_at=self.net.now))
 
+        # Key context for trace events (read by the invariant watchers).
+        store_fn.access_key = key
+
         access = self.biquorum.write(origin, store_fn)
         self._advertised[key] = (origin, value, version)
         return AdvertiseReceipt(key=key, version=version, access=access)
@@ -174,6 +177,8 @@ class LocationService:
             if hit is not None:
                 return hit
             return None
+
+        probe_fn.access_key = key
 
         access = self.biquorum.read(origin, probe_fn)
         found = bool(access.found and (access.reply_delivered

@@ -252,6 +252,15 @@ class SimNetwork:
             self.sim, config.heartbeat_interval, self._refresh_neighbor_tables
         )
 
+        # Live invariant watchers (REPRO_WATCH env hook).  Attached last
+        # so the hub sees the finished topology (n_alive for the
+        # intersection bound).  Lazy import: the common path pays one
+        # env lookup only.
+        self.watch_hub = None
+        if os.environ.get("REPRO_WATCH", "").strip():
+            from repro.obs.watch import attach_env_watchers
+            attach_env_watchers(self)
+
     # -- construction helpers ----------------------------------------------
 
     def _spawn_node(self, position: Optional[Point] = None) -> int:

@@ -1,0 +1,690 @@
+"""Live invariant watchers, the SLO monitor, and their CLI/campaign hooks.
+
+Three layers of coverage:
+
+* unit — the subscriber API, each builtin watcher on hand-built event
+  streams (including *mutated* streams proving every watcher can fire),
+  the P² estimator, and the bounded histogram mode;
+* integration — full fault campaigns run clean under every watcher,
+  strict audit turns a tampered stream into a raise, and the golden
+  fig8 trace replays with zero violations;
+* CLI — ``repro obs watch`` exit codes, verdict reports, stdin
+  summarize, and the manifest's trace-schema stamp.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.faults import run_fault_campaign
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    TRACE_SCHEMA,
+    AuditError,
+    ConservationWatcher,
+    EventTrace,
+    Histogram,
+    MetricsRegistry,
+    MonotonicityWatcher,
+    NoFabricationWatcher,
+    P2Quantile,
+    QuorumIntersectionWatcher,
+    SloMonitor,
+    SloSpec,
+    TraceEvent,
+    Watcher,
+    WatcherHub,
+    attach_watchers,
+    builtin_watchers,
+    collect_manifest,
+    load_slo_specs,
+    replay_trace,
+)
+from repro.obs.audit import AccountingAuditor
+from repro.simnet import NetworkConfig, SimNetwork
+
+GOLDEN_TRACE = "tests/golden/fig8_trace.jsonl"
+
+
+def _ev(seq, kind, /, t=0.0, **fields):
+    return TraceEvent(seq=seq, t=t, kind=kind, fields=fields)
+
+
+def _stream(specs):
+    """Build contiguous events from (kind, fields) pairs."""
+    return [_ev(i, kind, t=float(i), **fields)
+            for i, (kind, fields) in enumerate(specs)]
+
+
+def _access_pair(seq0, kind="lookup", messages=0, hops=0, **end_fields):
+    """One access span with ``hops`` hop events inside it."""
+    events = [_ev(seq0, "access-start", t=float(seq0), strategy="RANDOM",
+                  access=kind, origin=0)]
+    for i in range(hops):
+        events.append(_ev(seq0 + 1 + i, "hop", t=float(seq0 + 1 + i),
+                          src=0, dst=i + 1))
+    events.append(_ev(seq0 + 1 + hops, "access-end", t=float(seq0 + 1 + hops),
+                      strategy="RANDOM", access=kind, origin=0,
+                      messages=messages, routing=0, **end_fields))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Subscriber API
+# ---------------------------------------------------------------------------
+
+
+class TestSubscriberApi:
+    def test_subscribers_receive_every_event(self):
+        trace = EventTrace().enable(memory=False)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record("hop", 1.0, src=0, dst=1)
+        trace.emit("broadcast", 2.0, src=1)
+        assert [e.kind for e in seen] == ["hop", "broadcast"]
+        assert seen[0].fields["src"] == 0
+
+    def test_unsubscribe_and_double_subscribe(self):
+        trace = EventTrace().enable(memory=False)
+        seen = []
+        trace.subscribe(seen.append)
+        trace.subscribe(seen.append)  # idempotent
+        trace.record("hop", 1.0)
+        trace.unsubscribe(seen.append.__self__.append
+                          if hasattr(seen.append, "__self__") else seen.append)
+        trace.unsubscribe(seen.append)  # missing: ignored
+        trace.record("hop", 2.0)
+        assert len(seen) == 1
+
+    def test_subscriber_only_mode_skips_retention(self):
+        trace = EventTrace().enable(memory=False)
+        trace.subscribe(lambda e: None)
+        trace.record("hop", 1.0)
+        assert len(trace) == 0  # no memory retention
+
+
+# ---------------------------------------------------------------------------
+# Exception isolation
+# ---------------------------------------------------------------------------
+
+
+class _Crasher(Watcher):
+    name = "crasher"
+
+    def on_event(self, event):
+        raise RuntimeError("boom")
+
+
+class TestExceptionIsolation:
+    def test_crashing_watcher_never_breaks_the_stream(self):
+        hub = WatcherHub([_Crasher(), MonotonicityWatcher()])
+        for event in _stream([("hop", {}), ("hop", {})]):
+            hub.on_event(event)  # no raise
+        assert hub.crashes == 2
+        codes = {v.code for v in hub.violations}
+        assert codes == {"watcher-crashed"}
+        # The healthy watcher kept running (counts fold in at flush).
+        hub.finish()
+        assert hub.watchers[1].events_seen == 2
+
+    def test_strict_auditor_raises_on_violation(self):
+        auditor = AccountingAuditor(strict=True)
+        hub = WatcherHub([MonotonicityWatcher()], auditor=auditor)
+        hub.on_event(_ev(0, "hop", t=5.0))
+        with pytest.raises(AuditError):
+            hub.on_event(_ev(1, "hop", t=1.0))  # clock regression
+
+    def test_record_auditor_collects_and_survives(self):
+        auditor = AccountingAuditor(strict=False)
+        hub = WatcherHub([MonotonicityWatcher()], auditor=auditor)
+        hub.on_event(_ev(0, "hop", t=5.0))
+        hub.on_event(_ev(1, "hop", t=1.0))
+        hub.on_event(_ev(2, "hop", t=6.0))
+        assert not hub.clean
+        assert auditor.violations[0].code == "monotonicity-clock"
+
+    def test_session_ledger_mirrors_violations(self):
+        ledger = []
+        hub = WatcherHub([MonotonicityWatcher()], session_ledger=ledger)
+        hub.on_event(_ev(0, "hop", t=5.0))
+        hub.on_event(_ev(1, "hop", t=1.0))
+        assert len(ledger) == 1 and ledger[0].code == "monotonicity-clock"
+
+
+# ---------------------------------------------------------------------------
+# Builtin watchers: clean streams pass, mutated streams fire
+# ---------------------------------------------------------------------------
+
+
+class TestMonotonicityWatcher:
+    def test_clean_stream(self):
+        w = MonotonicityWatcher()
+        for e in _stream([("hop", {}), ("hop", {"topology_version": 1}),
+                          ("hop", {"topology_version": 2})]):
+            w.on_event(e)
+        assert not w.violations
+
+    def test_clock_regression_fires(self):
+        w = MonotonicityWatcher()
+        w.on_event(_ev(0, "hop", t=5.0))
+        w.on_event(_ev(1, "hop", t=4.0))
+        assert [v.code for v in w.violations] == ["monotonicity-clock"]
+
+    def test_seq_gap_fires(self):
+        w = MonotonicityWatcher()
+        w.on_event(_ev(0, "hop"))
+        w.on_event(_ev(2, "hop", t=1.0))
+        assert [v.code for v in w.violations] == ["monotonicity-seq"]
+
+    def test_topology_regression_fires(self):
+        w = MonotonicityWatcher()
+        w.on_event(_ev(0, "hop", topology_version=3))
+        w.on_event(_ev(1, "hop", t=1.0, topology_version=2))
+        assert [v.code for v in w.violations] == ["monotonicity-topology"]
+
+
+class TestConservationWatcher:
+    def test_balanced_access_passes(self):
+        w = ConservationWatcher()
+        for e in _access_pair(0, messages=2, hops=2, success=True):
+            w.on_event(e)
+        assert not w.violations and w.accesses_checked == 1
+
+    def test_dropped_accounting_event_fires(self):
+        # The seeded mutation: the access claims 3 messages but one hop
+        # event was dropped from the stream.
+        w = ConservationWatcher()
+        events = _access_pair(0, messages=3, hops=2, success=True)
+        for e in events:
+            w.on_event(e)
+        assert [v.code for v in w.violations] == ["conservation-messages"]
+
+    def test_nested_access_accrues_to_inner_frame(self):
+        w = ConservationWatcher()
+        events = [
+            _ev(0, "access-start", strategy="A", access="lookup", origin=0),
+            _ev(1, "access-start", t=1.0, strategy="B", access="lookup",
+                origin=1),
+            _ev(2, "hop", t=2.0),
+            _ev(3, "access-end", t=3.0, strategy="B", access="lookup",
+                origin=1, messages=1, routing=0),
+            _ev(4, "access-end", t=4.0, strategy="A", access="lookup",
+                origin=0, messages=0, routing=0),
+        ]
+        for e in events:
+            w.on_event(e)
+        assert not w.violations
+
+    def test_unmatched_end_fires(self):
+        w = ConservationWatcher()
+        w.on_event(_ev(0, "access-end", strategy="A", access="lookup",
+                       messages=0, routing=0))
+        assert [v.code for v in w.violations] == ["conservation-unmatched-end"]
+
+
+class TestNoFabricationWatcher:
+    def test_stored_then_hit_passes(self):
+        w = NoFabricationWatcher()
+        w.on_event(_ev(0, "store", node=3, key="k"))
+        w.on_event(_ev(1, "probe", t=1.0, node=3, hit=True, key="k"))
+        assert not w.violations
+
+    def test_fabricated_probe_hit_fires(self):
+        # The seeded mutation: a reply for a key no advertise ever stored.
+        w = NoFabricationWatcher()
+        w.on_event(_ev(0, "store", node=3, key="real"))
+        w.on_event(_ev(1, "probe", t=1.0, node=5, hit=True, key="ghost"))
+        assert [v.code for v in w.violations] == ["fabricated-value"]
+
+    def test_found_end_for_never_stored_key_fires(self):
+        w = NoFabricationWatcher()
+        w.on_event(_ev(0, "access-end", access="lookup", found=True,
+                       key="ghost", messages=0, routing=0))
+        assert [v.code for v in w.violations] == ["fabricated-value"]
+
+    def test_keyless_events_are_skipped(self):
+        # Pre-schema-2 traces carry no key payloads: never fires.
+        w = NoFabricationWatcher()
+        w.on_event(_ev(0, "probe", node=5, hit=True))
+        w.on_event(_ev(1, "access-end", t=1.0, access="lookup", found=True,
+                       messages=0, routing=0))
+        assert not w.violations
+
+
+class TestQuorumIntersectionWatcher:
+    def _lookup(self, seq0, key, found, quorum):
+        return [
+            _ev(seq0, "access-start", t=float(seq0), strategy="RANDOM",
+                access="lookup", origin=0, key=key),
+            _ev(seq0 + 1, "access-end", t=float(seq0 + 1), strategy="RANDOM",
+                access="lookup", origin=0, key=key, found=found,
+                quorum=quorum, messages=0, routing=0),
+        ]
+
+    def test_all_miss_stream_fires(self):
+        # n=20, 10 stored copies, lookups reach 10 nodes: p_hit ~ 1.
+        # 200 straight misses is statistically impossible under the
+        # hypergeometric bound.
+        w = QuorumIntersectionWatcher(n=20)
+        for node in range(10):
+            w.on_event(_ev(node, "store", t=0.0, node=node, key="k"))
+        seq = 10
+        for _ in range(200):
+            for e in self._lookup(seq, "k", found=False, quorum=10):
+                w.on_event(e)
+            seq += 2
+        assert any(v.code == "intersection-below-bound"
+                   for v in w.violations)
+
+    def test_plausible_hits_stay_clean(self):
+        w = QuorumIntersectionWatcher(n=20)
+        for node in range(10):
+            w.on_event(_ev(node, "store", t=0.0, node=node, key="k"))
+        seq = 10
+        for _ in range(200):
+            for e in self._lookup(seq, "k", found=True, quorum=10):
+                w.on_event(e)
+            seq += 2
+        assert not w.violations
+
+    def test_disarms_on_non_uniform_advertise(self):
+        w = QuorumIntersectionWatcher(n=20)
+        w.on_event(_ev(0, "access-start", strategy="UNIQUE-PATH",
+                       access="advertise", origin=0))
+        assert not w.armed
+
+    def test_dormant_without_n(self):
+        w = QuorumIntersectionWatcher(n=None)
+        for e in self._lookup(0, "k", found=False, quorum=10):
+            w.on_event(e)
+        assert w.lookups_counted == 0 and not w.violations
+
+    def test_churn_adjusts_alive_copies(self):
+        w = QuorumIntersectionWatcher(n=10)
+        w.on_event(_ev(0, "store", node=1, key="k"))
+        w.on_event(_ev(1, "churn", t=1.0, action="fail", node=1))
+        assert w._alive_copies("k") == 0
+        w.on_event(_ev(2, "churn", t=2.0, action="revive", node=1))
+        assert w._alive_copies("k") == 1
+
+
+# ---------------------------------------------------------------------------
+# P² quantile estimator
+# ---------------------------------------------------------------------------
+
+
+class TestP2Quantile:
+    def test_exact_for_first_five(self):
+        p = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            p.observe(v)
+        assert p.value() == 3.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.9).value())
+
+    def test_converges_on_uniform(self):
+        rng = random.Random(42)
+        values = [rng.random() for _ in range(20000)]
+        for q in (0.5, 0.9, 0.99):
+            est = P2Quantile(q)
+            for v in values:
+                est.observe(v)
+            exact = sorted(values)[int(q * len(values)) - 1]
+            assert abs(est.value() - exact) < 0.02, (q, est.value(), exact)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Bounded histograms (satellite: metrics memory)
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedHistogram:
+    def test_summary_stats_stay_exact(self):
+        h = Histogram("x", bounded=True, capacity=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        assert h.min == 0.0 and h.max == 99.0
+        assert len(h.values) == 8  # reservoir bound holds
+
+    def test_deterministic_reservoir(self):
+        def fill(name):
+            h = Histogram(name, bounded=True, capacity=16)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h.values)
+        assert fill("same") == fill("same")
+
+    def test_percentile_approximates(self):
+        h = Histogram("x", bounded=True, capacity=512)
+        rng = random.Random(7)
+        values = [rng.random() for _ in range(5000)]
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)[int(0.5 * len(values)) - 1]
+        assert abs(h.percentile(50) - exact) < 0.1
+
+    def test_default_mode_unchanged(self):
+        h = Histogram("x")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert not h.bounded
+        assert h.values == [3.0, 1.0, 2.0]  # raw retention
+        assert h.percentile(50) == 2.0
+        assert h.count == 3 and h.sum == 6.0
+
+    def test_sorted_cache_invalidated_by_observe(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        assert h.percentile(100) == 2.0  # populates cache
+        h.observe(9.0)
+        assert h.percentile(100) == 9.0  # cache was invalidated
+
+    def test_registry_env_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HIST_CAPACITY", "32")
+        reg = MetricsRegistry()
+        assert reg.histogram("h").bounded
+        monkeypatch.delenv("REPRO_HIST_CAPACITY")
+        assert not MetricsRegistry().histogram("h").bounded
+
+    def test_registry_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(bounded_capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# SLO monitor
+# ---------------------------------------------------------------------------
+
+
+class TestSloMonitor:
+    def _lookup_pair(self, seq0, latency, found=True):
+        return [
+            _ev(seq0, "access-start", t=float(seq0), strategy="R",
+                access="lookup", origin=0),
+            _ev(seq0 + 1, "access-end", t=seq0 + latency, strategy="R",
+                access="lookup", origin=0, found=found, messages=4,
+                routing=0, quorum=5),
+        ]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SloSpec(metric="x")  # no bound
+        with pytest.raises(ValueError):
+            SloSpec(metric="x", p=101, max=1.0)
+        with pytest.raises(ValueError):
+            SloSpec(metric="x", max=1.0, window=0)
+        with pytest.raises(ValueError):
+            load_slo_specs('[{"metric": "x", "max": 1, "typo": 2}]')
+
+    def test_load_from_file_and_wrapper(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text('{"slos": [{"metric": "m", "max": 1.0}]}')
+        specs = load_slo_specs(str(path))
+        assert specs[0].metric == "m" and specs[0].p is None
+
+    def test_window_breach_fires(self):
+        mon = SloMonitor([SloSpec(metric="lookup.latency", max=0.5,
+                                  window=2)])
+        seq = 0
+        for latency in (1.0, 2.0):  # both above max; window of 2 closes
+            for e in self._lookup_pair(seq, latency):
+                mon.on_event(e)
+            seq += 2
+        assert [v.code for v in mon.violations] == ["slo-violation"]
+        report = mon.slo_report()
+        assert report["violations"] == 1 and not report["ok"]
+        assert report["slos"][0]["windows"][0]["partial"] is False
+
+    def test_partial_window_evaluated_at_finish(self):
+        mon = SloMonitor([SloSpec(metric="lookup.hit_rate", min=0.9,
+                                  window=100)])
+        for e in self._lookup_pair(0, 0.1, found=False):
+            mon.on_event(e)
+        assert not mon.violations
+        mon.finish()
+        assert [v.code for v in mon.violations] == ["slo-violation"]
+        assert mon.slo_report()["slos"][0]["windows"][0]["partial"] is True
+
+    def test_percentile_spec_uses_p2(self):
+        mon = SloMonitor([SloSpec(metric="lookup.latency", p=99, max=5.0,
+                                  window=50)])
+        seq = 0
+        for _ in range(50):
+            for e in self._lookup_pair(seq, 0.5):
+                mon.on_event(e)
+            seq += 2
+        assert not mon.violations
+        report = mon.slo_report()
+        assert report["slos"][0]["windows"][0]["value"] == pytest.approx(
+            0.5, abs=1e-9)
+
+    def test_derived_field_metrics(self):
+        mon = SloMonitor([SloSpec(metric="lookup.messages", max=3.0,
+                                  window=1),
+                          SloSpec(metric="lookup.quorum_size", max=10.0,
+                                  window=1)])
+        for e in self._lookup_pair(0, 0.1):
+            mon.on_event(e)
+        # messages=4 > 3 fires; quorum=5 <= 10 passes.
+        assert len(mon.violations) == 1
+        assert "lookup.messages" in mon.violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# Live attachment + campaigns (integration)
+# ---------------------------------------------------------------------------
+
+
+class TestLiveAttachment:
+    def test_attach_watchers_wires_trace_and_auditor(self):
+        net = SimNetwork(NetworkConfig(n=30, seed=3))
+        hub = attach_watchers(net)
+        assert net.watch_hub is hub
+        assert net.trace.enabled
+        net.record_event("hop", src=0, dst=1)
+        hub.finish()  # event counts fold in at flush
+        assert hub.events_seen == 1
+
+    def test_env_hook_attaches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCH", "monotonicity,conservation")
+        net = SimNetwork(NetworkConfig(n=30, seed=3))
+        assert net.watch_hub is not None
+        assert {w.name for w in net.watch_hub.watchers} == {
+            "monotonicity", "conservation"}
+
+    def test_env_hook_rejects_typos(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WATCH", "monotonicty")
+        with pytest.raises(ValueError):
+            SimNetwork(NetworkConfig(n=30, seed=3))
+
+    def test_builtin_watchers_names(self):
+        assert {w.name for w in builtin_watchers(n=10)} == {
+            "monotonicity", "conservation", "no-fabricated-value",
+            "quorum-intersection"}
+        with pytest.raises(ValueError):
+            builtin_watchers(names=["nope"])
+
+    @pytest.mark.parametrize("campaign", ["smoke", "waves", "join-surge",
+                                          "partition", "stress"])
+    def test_campaigns_clean_under_all_watchers(self, campaign):
+        report = run_fault_campaign(campaign=campaign, n=60, seed=7,
+                                    n_lookups=20, watch=True)
+        assert report.watch_clean, report.watch_violations
+        assert report.watch["events"] > 0
+
+    def test_campaign_slo_breach_reported(self):
+        # An impossible SLO (zero latency) must be reported, not raised.
+        report = run_fault_campaign(
+            campaign="smoke", n=60, seed=7, n_lookups=10,
+            slo_specs=[SloSpec(metric="lookup.latency", max=0.0, window=5)])
+        assert report.watch_clean is False
+        assert any(v.code == "slo-violation"
+                   for v in report.watch_violations)
+
+
+# ---------------------------------------------------------------------------
+# Trace replay + golden trace
+# ---------------------------------------------------------------------------
+
+
+class TestReplay:
+    def test_golden_trace_is_clean(self):
+        result = replay_trace(GOLDEN_TRACE)
+        assert result.clean, result.violations
+        assert result.events > 0 and result.segments > 1
+        assert result.corrupt_lines == 0
+
+    def test_segment_reset_between_runs(self):
+        # Two back-to-back runs: clocks restart — must NOT trip
+        # monotonicity because seq==0 starts a fresh segment.
+        lines = []
+        for _run in range(2):
+            for e in _stream([("hop", {}), ("hop", {})]):
+                lines.append(e.to_json())
+        result = replay_trace(lines)
+        assert result.segments == 2 and result.clean
+
+    def test_mutated_trace_fires_on_replay(self):
+        lines = [e.to_json()
+                 for e in _access_pair(0, messages=9, hops=2, success=True)]
+        result = replay_trace(lines)
+        assert not result.clean
+        assert any("conservation-messages" in v for v in
+                   result.to_jsonable()["violations"])
+
+    def test_corrupt_lines_counted(self):
+        lines = ["not json", _ev(0, "hop").to_json()]
+        result = replay_trace(lines)
+        assert result.corrupt_lines == 1 and result.events == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI + schema stamping
+# ---------------------------------------------------------------------------
+
+
+class TestWatchCli:
+    def _write_trace(self, tmp_path, events, name="t.jsonl"):
+        path = tmp_path / name
+        path.write_text("\n".join(e.to_json() for e in events) + "\n")
+        return str(path)
+
+    def test_watch_clean_and_verdict_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_trace(
+            tmp_path, _access_pair(0, messages=1, hops=1, success=True))
+        assert main(["obs", "watch", path, "--fail-on-violation"]) == 0
+        verdict = json.loads(open(path + ".verdict.json").read())
+        assert verdict["ok"] is True and verdict["events"] == 3
+
+    def test_watch_violation_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._write_trace(
+            tmp_path, _access_pair(0, messages=9, hops=1, success=True))
+        assert main(["obs", "watch", path]) == 0  # report-only
+        assert main(["obs", "watch", path, "--fail-on-violation"]) == 1
+        out = capsys.readouterr().out
+        assert "conservation-messages" in out
+
+    def test_watch_golden_trace_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "watch", GOLDEN_TRACE, "--fail-on-violation",
+                     "--report", "none"]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_watch_with_slo_spec(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "slo.json"
+        spec.write_text('[{"metric": "lookup.latency", "max": 0.0}]')
+        path = self._write_trace(
+            tmp_path, _access_pair(0, kind="lookup", messages=1, hops=1,
+                                   success=True, found=True, quorum=1))
+        assert main(["obs", "watch", path, "--slo", str(spec),
+                     "--fail-on-violation"]) == 1
+        verdict = json.loads(open(path + ".verdict.json").read())
+        assert verdict["slo"][0]["violations"] == 1
+
+    def test_watch_bad_slo_spec_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "bad.json"
+        spec.write_text('[{"metric": "x"}]')
+        path = self._write_trace(tmp_path, [_ev(0, "hop")])
+        assert main(["obs", "watch", path, "--slo", str(spec)]) == 2
+
+    def test_summarize_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        from repro.cli import main
+
+        lines = "\n".join(
+            e.to_json()
+            for e in _access_pair(0, messages=1, hops=1, success=True)) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["obs", "summarize", "-"]) == 0
+        assert "access.lookup" in capsys.readouterr().out
+
+    def test_faults_run_watch_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_TRACE", "sentinel")  # restored by CLI
+        trace = str(tmp_path / "c.jsonl")
+        assert main(["faults", "run", "--campaign", "smoke", "--n", "60",
+                     "--lookups", "10", "--watch", "--fail-on-violation",
+                     "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "watch:" in out and "CLEAN" in out
+        verdict = json.loads(open(trace + ".verdict.json").read())
+        assert verdict["ok"] is True
+
+    def test_list_documents_watch(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("watch", "REPRO_WATCH", "REPRO_SLO",
+                      "REPRO_HIST_CAPACITY"):
+            assert token in out
+
+
+class TestSchemaStamp:
+    def test_manifest_carries_trace_schema(self):
+        manifest = collect_manifest("fig8", params={"n": 25})
+        assert manifest.schema == MANIFEST_SCHEMA
+        assert manifest.trace_schema == TRACE_SCHEMA
+
+    def test_obs_warns_on_schema_mismatch(self, tmp_path, capsys):
+        from repro.obs.query import check_trace_schema
+
+        trace = tmp_path / "old.jsonl"
+        trace.write_text(_ev(0, "hop").to_json() + "\n")
+        (tmp_path / "old.jsonl.manifest.json").write_text(
+            json.dumps({"schema": 1}))  # pre-stamp manifest: schema 1
+        assert check_trace_schema(str(trace)) == 1
+        assert "warning" in capsys.readouterr().err
+
+    def test_obs_silent_on_match_or_missing(self, tmp_path, capsys):
+        from repro.obs.query import check_trace_schema
+
+        trace = tmp_path / "new.jsonl"
+        trace.write_text(_ev(0, "hop").to_json() + "\n")
+        assert check_trace_schema(str(trace)) is None  # no manifest
+        (tmp_path / "new.jsonl.manifest.json").write_text(
+            json.dumps({"trace_schema": TRACE_SCHEMA}))
+        assert check_trace_schema(str(trace)) == TRACE_SCHEMA
+        assert capsys.readouterr().err == ""
