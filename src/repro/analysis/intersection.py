@@ -90,6 +90,75 @@ def malkhi_miss_bound(k: float) -> float:
     return math.exp(-k * k)
 
 
+def masking_miss_probability_exact(quorum_a: int, quorum_l: int, n: int,
+                                   b: int) -> float:
+    """Exact ``Pr(|Qa ∩ Ql| <= 2b)`` for uniform without-replacement quorums.
+
+    The masking analogue of :func:`miss_probability_exact`: with up to
+    ``b`` Byzantine replicas, a lookup is safe only when the quorums
+    share at least ``2b + 1`` members, so that the honest majority of
+    the intersection (``>= b + 1``) outvotes every fabricated reply
+    (Malkhi–Reiter masking quorums).  ``|Qa ∩ Ql|`` is hypergeometric;
+    the returned value is its CDF at ``2b``.  ``b = 0`` reduces to the
+    crash-fault miss probability of Lemma 5.2.
+    """
+    _validate(quorum_a, quorum_l, n)
+    if b < 0:
+        raise ValueError("b must be non-negative")
+    total = math.comb(n, quorum_l)
+    prob = 0.0
+    upper = min(2 * b, quorum_a, quorum_l)
+    for i in range(upper + 1):
+        prob += math.comb(quorum_a, i) * math.comb(n - quorum_a,
+                                                   quorum_l - i) / total
+    return min(prob, 1.0)
+
+
+def masking_intersection_probability(quorum_a: int, quorum_l: int, n: int,
+                                     b: int) -> float:
+    """``Pr(|Qa ∩ Ql| >= 2b + 1)`` — the masked-read success floor."""
+    return 1.0 - masking_miss_probability_exact(quorum_a, quorum_l, n, b)
+
+
+def masking_quorum_size(n: int, epsilon: float, b: int) -> int:
+    """Smallest symmetric quorum size with ``Pr(|Qa ∩ Ql| <= 2b) <= eps``.
+
+    Found by bisection on the exact hypergeometric bound.  Raises
+    ``ValueError`` when no size works (``n < 2b + 1`` — even full
+    quorums cannot expose an honest majority of ``b + 1``).
+    """
+    _validate_eps(epsilon)
+    if b < 0:
+        raise ValueError("b must be non-negative")
+    if n < 2 * b + 1:
+        raise ValueError(
+            f"n={n} cannot mask b={b} faults: even q=n leaves "
+            f"|intersection| < {2 * b + 1}")
+    lo, hi = 2 * b + 1, n
+    if masking_miss_probability_exact(hi, hi, n, b) > epsilon:
+        raise ValueError(
+            f"no symmetric quorum over n={n} masks b={b} at eps={epsilon}")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if masking_miss_probability_exact(mid, mid, n, b) <= epsilon:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def masking_vote_threshold(b: int) -> int:
+    """Votes a reply must gather to be accepted under ``b`` masking: ``b+1``.
+
+    With ``|Qa ∩ Ql| >= 2b + 1`` and at most ``b`` Byzantine replicas the
+    honest members of the intersection number at least ``b + 1``, while any
+    fabricated value gathers at most ``b`` votes — strictly below threshold.
+    """
+    if b < 0:
+        raise ValueError("b must be non-negative")
+    return b + 1
+
+
 def _validate(quorum_a: int, quorum_l: int, n: int) -> None:
     if n <= 0:
         raise ValueError("n must be positive")

@@ -274,12 +274,35 @@ def _quorum(args) -> str:
             f"simulation)\n{table}\n\n{chart}")
 
 
+def _byz(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    points = ex.byzantine_sweep(
+        n=args.n, fractions=tuple(args.byz_fractions), b=args.byz_b,
+        epsilon=args.epsilon, n_keys=args.keys, n_lookups=args.lookups)
+    table = format_table(
+        ["mode", "f", "liars", "b", "q", "hit", "masked", "corrupt",
+         "pred", "caught", "load", "pred load"],
+        [(p.mode, p.byz_fraction, p.liars,
+          "-" if p.b is None else p.b, p.quorum_size,
+          p.hit_ratio, p.masked_lookups, p.corrupt_fraction,
+          p.predicted_corrupt, p.caught, p.per_node_load,
+          p.predicted_load) for p in points])
+    chart = render_series(
+        {mode: [(p.byz_fraction, p.corrupt_fraction) for p in points
+                if p.mode == mode]
+         for mode in ("undefended", "masked")},
+        x_label="byzantine fraction", y_label="corrupt reads")
+    return ("Byzantine sweep (masking quorums vs undefended RANDOM)\n"
+            f"{table}\n\n{chart}")
+
+
 FIGURES: Dict[str, Callable] = {
     "fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig14": _fig14,
     "fig15": _fig15, "fig16": _fig16, "maint": _maint,
-    "quorum": _quorum,
+    "quorum": _quorum, "byz": _byz,
 }
 
 DESCRIPTIONS = {
@@ -299,6 +322,7 @@ DESCRIPTIONS = {
     "fig16": "summary cost table",
     "maint": "maintenance degradation, refresh off vs adaptive",
     "quorum": "algebraic quorum systems: optimized strategy vs simulation",
+    "byz": "byzantine sweep: masking quorums vs undefended RANDOM",
 }
 
 
@@ -413,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="number of lookups spread over the campaign")
     frun.add_argument("--refresh", choices=("adaptive", "static", "off"),
                       default="adaptive", help="refresh daemon mode")
+    frun.add_argument("--masking-b", type=int, default=None, metavar="B",
+                      help="run the workload over b-masking quorums "
+                           "(vote-filtered lookups sized for the "
+                           "hypergeometric masking bound) — the defended "
+                           "mode for campaigns with byzantine injections")
     frun.add_argument("--trace", metavar="PATH", default=None,
                       help="stream simulation events as JSONL to PATH")
     frun.add_argument("--watch", action="store_true",
@@ -478,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "watchers (REPRO_SLO)")
         p.add_argument("--fail-on-violation", action="store_true",
                        help="exit 1 when a watcher reports a violation")
+        if name == "byz":
+            p.add_argument("--byz-fractions", type=float, nargs="+",
+                           metavar="F", default=[0.0, 0.02, 0.05, 0.1],
+                           help="byzantine (lying replica) fractions to "
+                                "sweep (0..1)")
+            p.add_argument("--byz-b", type=int, default=None, metavar="B",
+                           help="masking budget b for the defended legs "
+                                "(default: ceil(max fraction * n))")
         if name == "quorum":
             p.add_argument("--systems", nargs="+", metavar="NAME",
                            choices=sorted(BUILTIN_SYSTEMS),
@@ -606,7 +643,8 @@ def _run_faults(args) -> int:
         report = run_fault_campaign(
             campaign=args.campaign, n=args.n, seed=args.seed,
             n_keys=args.keys, n_lookups=args.lookups, refresh=args.refresh,
-            watch=args.watch, slo_specs=slo_specs)
+            watch=args.watch, slo_specs=slo_specs,
+            masking_b=args.masking_b)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -6,6 +6,7 @@ from repro.core.biquorum import (
     plan_sizes,
 )
 from repro.core.gossip import GossipFloodStrategy
+from repro.core.masking import MaskingStrategy, parse_masking_name
 from repro.core.strategies import (
     AccessPolicy,
     AccessResult,
@@ -27,6 +28,8 @@ __all__ = [
     "AccessResult",
     "AccessStrategy",
     "FloodingStrategy",
+    "MaskingStrategy",
+    "parse_masking_name",
     "PathStrategy",
     "RandomOptStrategy",
     "RandomSamplingStrategy",

@@ -46,31 +46,53 @@ def _live_trace(net: SimNetwork):
 
 def _traced_store(net: SimNetwork, trace, store_fn: StoreFn) -> StoreFn:
     # Services annotate callbacks with the key they operate on
-    # (``access_key``); watchers use it to cross-check replies against
-    # prior stores.  Absent on bare callbacks — events stay keyless.
+    # (``access_key``) and, when versioned, the version being written
+    # (``access_version``); watchers use these to cross-check replies
+    # against prior stores.  Absent on bare callbacks — events stay
+    # keyless/versionless.
     key = getattr(store_fn, "access_key", None)
+    version = getattr(store_fn, "access_version", None)
 
     def wrapped(node: int) -> None:
         store_fn(node)
-        if key is not None:
+        if key is None:
+            trace.record("store", net.now, node=node)
+        elif version is None:
             trace.record("store", net.now, node=node, key=key)
         else:
-            trace.record("store", net.now, node=node)
+            trace.record("store", net.now, node=node, key=key,
+                         version=version)
     return wrapped
 
 
 def _traced_probe(net: SimNetwork, trace, probe_fn: ProbeFn) -> ProbeFn:
     key = getattr(probe_fn, "access_key", None)
+    version_of = getattr(probe_fn, "access_version_of", None)
 
     def wrapped(node: int) -> Optional[Any]:
         value = probe_fn(node)
-        if key is not None:
+        if key is None:
+            trace.record("probe", net.now, node=node, hit=value is not None)
+            return value
+        version = _reply_version(version_of, value)
+        if version is None:
             trace.record("probe", net.now, node=node,
                          hit=value is not None, key=key)
         else:
-            trace.record("probe", net.now, node=node, hit=value is not None)
+            trace.record("probe", net.now, node=node, hit=True, key=key,
+                         version=version)
         return value
     return wrapped
+
+
+def _reply_version(version_of, value) -> Optional[Any]:
+    """Extract a reply's version via the service annotation, if any."""
+    if version_of is None or value is None:
+        return None
+    try:
+        return version_of(value)
+    except (TypeError, IndexError, KeyError, AttributeError):
+        return None
 
 
 def _publish_access_metrics(net: SimNetwork, result: "AccessResult") -> None:
@@ -86,6 +108,11 @@ def _publish_access_metrics(net: SimNetwork, result: "AccessResult") -> None:
         metrics.counter(prefix + ".hits").inc()
         if result.reply_delivered is False:
             metrics.counter(prefix + ".reply_drops").inc()
+    if result.kind == "lookup":
+        if result.masked:
+            metrics.counter(prefix + ".masked").inc()
+        if result.found_corrupt:
+            metrics.counter(prefix + ".found_corrupt").inc()
     metrics.histogram(prefix + ".latency").observe(result.latency)
     metrics.histogram(prefix + ".quorum_size").observe(result.quorum_size)
 
@@ -154,6 +181,8 @@ class AccessResult:
     latency: float = 0.0             # simulated seconds the access took
     attempts: int = 1                # policy attempts consumed (1 = no retry)
     deadline_missed: bool = False    # policy deadline was blown
+    found_corrupt: bool = False      # masking: conflicting confirmed values
+    masked: bool = False             # masking: no reply reached the threshold
 
     @property
     def quorum_size(self) -> int:
@@ -162,6 +191,21 @@ class AccessResult:
     @property
     def total_messages(self) -> int:
         return self.messages + self.routing_messages
+
+    @property
+    def verdict(self) -> str:
+        """Reply-filter verdict: found / found_corrupt / masked / miss.
+
+        Plain (non-masking) strategies only ever report ``found`` or
+        ``miss``; :class:`repro.core.masking.MaskingStrategy` sets
+        ``masked`` when replies exist but none gathered ``b + 1`` votes,
+        and ``found_corrupt`` when two conflicting values both did.
+        """
+        if self.masked:
+            return "masked"
+        if self.found_corrupt:
+            return "found_corrupt"
+        return "found" if self.found else "miss"
 
 
 class AccessStrategy(ABC):
@@ -274,6 +318,16 @@ class AccessStrategy(ABC):
         mark = trace.mark() if trace is not None else None
         started = net.now
         access_key = getattr(callback, "access_key", None)
+        version_of = getattr(callback, "access_version_of", None)
+        byzantine = getattr(net, "byzantine", None)
+        if byzantine is not None and byzantine.active:
+            # Interpose the adversary *under* the tracing wrappers: the
+            # trace then records the protocol's deceived view (acked
+            # stores that were discarded, fabricated probe hits).
+            if kind == "advertise":
+                callback = byzantine.wrap_store(callback)
+            else:
+                callback = byzantine.wrap_probe(callback)
         if trace is not None:
             extra = {} if access_key is None else {"key": access_key}
             trace.record("access-start", started, strategy=self.name,
@@ -293,6 +347,15 @@ class AccessStrategy(ABC):
         result.latency = net.now - started
         if trace is not None:
             extra = {} if access_key is None else {"key": access_key}
+            if kind == "lookup" and result.found:
+                # Stamp the *accepted* reply's version so watchers can
+                # verify the returned value was once legitimately stored
+                # (fabrications carry versions no one ever wrote).
+                version = _reply_version(version_of, result.hit_value)
+                if version is not None:
+                    extra["version"] = version
+            if result.masked or result.found_corrupt:
+                extra["verdict"] = result.verdict
             trace.record("access-end", net.now, strategy=self.name,
                          access=kind, origin=origin,
                          messages=result.messages,

@@ -64,6 +64,11 @@ from repro.experiments.fig_maintenance import (
     expected_intersection,
     maintenance_curves,
 )
+from repro.experiments.fig_byz import (
+    ByzPoint,
+    byzantine_sweep,
+    undefended_corrupt_bound,
+)
 from repro.experiments.ascii_plot import render_series
 from repro.experiments.runner import (
     SweepResult,
@@ -103,6 +108,7 @@ __all__ = [
     "PathPathPoint", "path_x_path",
     "ChurnPoint", "MobilityPoint", "churn_sweep", "mobility_sweep",
     "MaintenancePoint", "expected_intersection", "maintenance_curves",
+    "ByzPoint", "byzantine_sweep", "undefended_corrupt_bound",
     "QuorumLoadPoint", "quorum_load_point", "quorum_load_sweep",
     "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
     "render_summary", "summary_table",

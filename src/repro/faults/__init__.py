@@ -2,12 +2,21 @@
 
 A :class:`FaultCampaign` is a seeded, declarative schedule of fault
 injections — drop-probability bursts, mass-failure waves, join surges,
-spatial partitions, membership-staleness windows — that a
-:class:`CampaignRunner` drives through the simulation clock and the
-deployment's named RNG streams, so identical seeds give identical event
-traces (byte-identical at the ``repro obs summarize --json`` level).
+spatial partitions, membership-staleness windows, and adversarial
+(Byzantine) replica behaviors — that a :class:`CampaignRunner` drives
+through the simulation clock and the deployment's named RNG streams, so
+identical seeds give identical event traces (byte-identical at the
+``repro obs summarize --json`` level).
 """
 
+from repro.faults.byzantine import (
+    BYZANTINE_BEHAVIORS,
+    ByzantineBehavior,
+    ByzantineRegistry,
+    CaptureSpec,
+    ensure_byzantine,
+    fabricated_reply,
+)
 from repro.faults.campaign import (
     BUILTIN_CAMPAIGNS,
     CampaignRunner,
@@ -23,14 +32,20 @@ from repro.faults.scenario import CampaignReport, run_fault_campaign
 
 __all__ = [
     "BUILTIN_CAMPAIGNS",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineBehavior",
+    "ByzantineRegistry",
     "CampaignReport",
     "CampaignRunner",
+    "CaptureSpec",
     "DropBurst",
     "FailureWave",
     "FaultCampaign",
     "JoinWave",
     "Partition",
     "StalenessWindow",
+    "ensure_byzantine",
+    "fabricated_reply",
     "load_campaign",
     "run_fault_campaign",
 ]

@@ -10,7 +10,9 @@ Campaign schema (JSON-serialisable via ``FaultCampaign.to_dict``)::
        {"type": "join-wave",   "at": 30.0, "fraction": 0.1},
        {"type": "partition",   "at": 40.0, "duration": 15.0, "axis": "x",
         "position": 0.5, "width": null},
-       {"type": "staleness",   "at": 60.0, "duration": 20.0}]}
+       {"type": "staleness",   "at": 60.0, "duration": 20.0},
+       {"type": "byzantine",   "at": 80.0, "duration": 20.0,
+        "behavior": "lie", "fraction": 0.05}]}
 
 Every injection fires at an absolute simulated time ``at``; injections
 with a ``duration`` schedule a matching *end* action.  The runner draws
@@ -26,13 +28,20 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.faults.byzantine import ByzantineBehavior
 from repro.simnet.churn import apply_churn
 from repro.simnet.network import SimNetwork
 
 
 @dataclass(frozen=True)
 class DropBurst:
-    """Raise the per-hop drop probability for a window (interference)."""
+    """Raise the per-hop drop probability for a window (interference).
+
+    Overlapping bursts stack: each ``begin`` pushes its probability,
+    each ``end`` removes its own entry and re-exposes whichever burst
+    is still active (or the baseline), so an inner burst's end never
+    clobbers an outer burst that is still running.
+    """
 
     at: float
     duration: float
@@ -40,10 +49,15 @@ class DropBurst:
     type: str = "drop-burst"
 
     def begin(self, runner: "CampaignRunner") -> None:
+        runner.drop_stack.append((id(self), self.drop_prob))
         runner.net.config.drop_prob = self.drop_prob
 
     def end(self, runner: "CampaignRunner") -> None:
-        runner.net.config.drop_prob = runner.baseline_drop_prob
+        runner.drop_stack[:] = [entry for entry in runner.drop_stack
+                                if entry[0] != id(self)]
+        runner.net.config.drop_prob = (runner.drop_stack[-1][1]
+                                       if runner.drop_stack
+                                       else runner.baseline_drop_prob)
 
 
 @dataclass(frozen=True)
@@ -117,24 +131,34 @@ class Partition:
 
 @dataclass(frozen=True)
 class StalenessWindow:
-    """Membership staleness: freeze heartbeats and membership refreshes."""
+    """Membership staleness: freeze heartbeats and membership refreshes.
+
+    The freeze is depth-counted on the runner: overlapping windows only
+    thaw when the *last* one ends, so an inner window's end cannot
+    silently resume refreshes under an outer window.
+    """
 
     at: float
     duration: float
     type: str = "staleness"
 
     def begin(self, runner: "CampaignRunner") -> None:
-        runner.net.suspend_neighbor_refresh()
-        for membership in runner.memberships:
-            membership.freeze()
+        runner.staleness_depth += 1
+        if runner.staleness_depth == 1:
+            runner.net.suspend_neighbor_refresh()
+            for membership in runner.memberships:
+                membership.freeze()
 
     def end(self, runner: "CampaignRunner") -> None:
-        runner.net.resume_neighbor_refresh()
-        for membership in runner.memberships:
-            membership.thaw()
+        runner.staleness_depth = max(0, runner.staleness_depth - 1)
+        if runner.staleness_depth == 0:
+            runner.net.resume_neighbor_refresh()
+            for membership in runner.memberships:
+                membership.thaw()
 
 
 _INJECTION_TYPES = {
+    "byzantine": ByzantineBehavior,
     "drop-burst": DropBurst,
     "failure-wave": FailureWave,
     "join-wave": JoinWave,
@@ -209,6 +233,22 @@ BUILTIN_CAMPAIGNS: Dict[str, FaultCampaign] = {
         StalenessWindow(at=50.0, duration=15.0),
         FailureWave(at=58.0, fraction=0.1),
     )),
+    "capture": FaultCampaign("capture", (
+        ByzantineBehavior(at=1.0, duration=50.0, behavior="capture",
+                          fraction=0.4, max_nodes=4),
+        ByzantineBehavior(at=4.0, duration=40.0, behavior="lie",
+                          fraction=0.02),
+    )),
+    "byzantine": FaultCampaign("byzantine", (
+        ByzantineBehavior(at=2.0, duration=18.0, behavior="lie",
+                          fraction=0.05),
+        ByzantineBehavior(at=12.0, duration=16.0, behavior="drop",
+                          fraction=0.05),
+        ByzantineBehavior(at=24.0, duration=14.0, behavior="stale",
+                          fraction=0.05),
+        ByzantineBehavior(at=40.0, duration=14.0, behavior="capture",
+                          fraction=0.3, max_nodes=3),
+    )),
 }
 
 
@@ -245,9 +285,12 @@ class CampaignRunner:
         self.rng = net.rngs.stream("faults")
         self.baseline_drop_prob = net.config.drop_prob
         self.partition_victims: Dict[int, List[int]] = {}
+        self.drop_stack: List[Tuple[int, float]] = []
+        self.staleness_depth = 0
+        self.byzantine_state: Dict[int, Any] = {}
         self.injections_applied = 0
         self._events: List[Any] = []
-        self._active: List[Injection] = []
+        self._active: List[int] = []
         self._started = False
 
     def start(self) -> "CampaignRunner":
@@ -267,27 +310,36 @@ class CampaignRunner:
                               index=index)
         inj.begin(self)
         self.injections_applied += 1
-        if getattr(inj, "duration", 0.0) > 0 and hasattr(inj, "end"):
-            self._active.append(inj)
-            self._events.append(self.net.sim.schedule(
-                inj.duration, self._end, index))
+        if hasattr(inj, "end"):
+            # Track by schedule index (frozen dataclasses compare by
+            # value, so identical injections would alias each other).
+            # duration == 0 means "until stop()": active, no end event.
+            self._active.append(index)
+            if getattr(inj, "duration", 0.0) > 0:
+                self._events.append(self.net.sim.schedule(
+                    inj.duration, self._end, index))
 
     def _end(self, index: int) -> None:
         inj = self.campaign.injections[index]
         self.net.record_event("fault", inject=inj.type, phase="end",
                               index=index)
         inj.end(self)
-        if inj in self._active:
-            self._active.remove(inj)
+        if index in self._active:
+            self._active.remove(index)
 
     def stop(self) -> None:
-        """Cancel pending actions and unwind still-active injections."""
+        """Cancel pending actions and unwind still-active injections.
+
+        Unwinding pops in reverse-begin order (LIFO), so nested
+        injections restore state inside-out regardless of how their
+        scheduled ends would have interleaved.
+        """
         for event in self._events:
             event.cancel()
         self._events.clear()
         while self._active:
-            inj = self._active.pop()
-            inj.end(self)
+            index = self._active.pop()
+            self.campaign.injections[index].end(self)
 
     def run_to_completion(self) -> None:
         """Advance the clock until the campaign's last action has run."""

@@ -49,6 +49,12 @@ class CampaignReport:
     #: Live watcher outcome (``--watch``); None when watchers were off.
     watch: Optional[dict] = None
     watch_violations: List[Any] = field(default_factory=list)
+    #: Masking-mode extras (``masking_b is not None``): reads the vote
+    #: filter rejected, and reads that returned a wrong value (ground
+    #: truth known to the scenario) — the Byzantine safety headline.
+    masking_b: Optional[int] = None
+    masked_lookups: int = 0
+    corrupt_reads: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -73,7 +79,10 @@ class CampaignReport:
             f"interval_updates={self.refresh_interval_updates}"
             + (f" interval={self.refresh_interval:.4g}s"
                if self.refresh_interval is not None else ""),
-        ] + ([] if self.watch is None else [
+        ] + ([] if self.masking_b is None else [
+            f"masking: b={self.masking_b} masked={self.masked_lookups} "
+            f"corrupt_reads={self.corrupt_reads}",
+        ]) + ([] if self.watch is None else [
             f"watch: events={self.watch.get('events', 0)} "
             f"violations={len(self.watch_violations)} "
             + ("CLEAN" if self.watch_clean else "VIOLATED"),
@@ -96,6 +105,7 @@ def run_fault_campaign(
         deadline=5.0, max_retries=2),
     watch: bool = False,
     slo_specs: Optional[list] = None,
+    masking_b: Optional[int] = None,
 ) -> CampaignReport:
     """Run the workload-under-faults scenario; returns a report.
 
@@ -104,6 +114,12 @@ def run_fault_campaign(
     additionally evaluates SLO specs via a live
     :class:`~repro.obs.slo.SloMonitor`.  The report then carries the
     hub's result (``report.watch`` / ``report.watch_violations``).
+
+    ``masking_b`` switches the deployment to masking quorums: lookups
+    run a :class:`~repro.core.masking.MaskingStrategy` over RANDOM
+    (every probe reply needs ``b + 1`` corroborating votes) and both
+    quorum sides are sized per the hypergeometric masking bound — the
+    defended configuration for campaigns with Byzantine behaviors.
     """
     if isinstance(campaign, str):
         campaign = load_campaign(campaign)
@@ -118,10 +134,22 @@ def run_fault_campaign(
         from repro.obs.watch import attach_watchers, builtin_watchers
         watchers = builtin_watchers(n=net.n_alive) if watch else []
         hub = attach_watchers(net, watchers=watchers, slo_specs=slo_specs)
-    membership = RandomMembership(net)
-    size = max(1, int(round(math.sqrt(n * math.log(1.0 / epsilon)))))
-    advertise = RandomStrategy(membership).set_policy(policy)
-    lookup = UniquePathStrategy().set_policy(policy)
+    if masking_b is not None:
+        from repro.analysis.intersection import masking_quorum_size
+        from repro.core.masking import MaskingStrategy
+        size = masking_quorum_size(n, epsilon, masking_b)
+        # Masking quorums outgrow the paper's 2*sqrt(n) partial views;
+        # widen the membership view so quorums are not silently capped.
+        view = max(size, int(round(2.0 * math.sqrt(n))))
+        membership = RandomMembership(net, view_size=view)
+        advertise = RandomStrategy(membership).set_policy(policy)
+        lookup = MaskingStrategy(
+            RandomStrategy(membership), masking_b).set_policy(policy)
+    else:
+        size = max(1, int(round(math.sqrt(n * math.log(1.0 / epsilon)))))
+        membership = RandomMembership(net)
+        advertise = RandomStrategy(membership).set_policy(policy)
+        lookup = UniquePathStrategy().set_policy(policy)
     biquorum = ProbabilisticBiquorum(
         net, advertise=advertise, lookup=lookup,
         advertise_size=size, lookup_size=size,
@@ -148,14 +176,20 @@ def run_fault_campaign(
 
     start = net.now
     step = duration / max(1, n_lookups)
-    lookups = hits = 0
+    lookups = hits = masked = corrupt = 0
     for i in range(n_lookups):
         net.run_until(start + i * step)
         looker = net.random_alive_node(wrng)
-        receipt = service.lookup(looker, wrng.choice(keys))
+        key = wrng.choice(keys)
+        receipt = service.lookup(looker, key)
         lookups += 1
         if receipt.found:
             hits += 1
+            if receipt.value != f"value-of-{key}":
+                corrupt += 1
+        elif receipt.access is not None and getattr(
+                receipt.access, "masked", False):
+            masked += 1
     net.run_until(start + duration)
 
     runner.stop()
@@ -193,4 +227,7 @@ def run_fault_campaign(
         refresh_interval=daemon.interval if daemon else None,
         watch=watch_result,
         watch_violations=watch_violations,
+        masking_b=masking_b,
+        masked_lookups=masked,
+        corrupt_reads=corrupt,
     )

@@ -45,10 +45,14 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.analysis.intersection import miss_probability_exact
+from repro.analysis.intersection import (
+    masking_miss_probability_exact,
+    miss_probability_exact,
+)
 from repro.obs.audit import AuditError, AuditViolation
 from repro.obs.query import iter_trace
 from repro.obs.trace import MESSAGE_KINDS, ROUTING_KINDS, TraceEvent
@@ -56,6 +60,30 @@ from repro.obs.trace import MESSAGE_KINDS, ROUTING_KINDS, TraceEvent
 #: Advertise strategies whose quorums are uniform-without-replacement
 #: samples — the precondition for the Lemma 5.2 structure-free bound.
 UNIFORM_ADVERTISE_STRATEGIES = frozenset({"RANDOM", "RANDOM-SAMPLING"})
+
+#: Shape of :class:`repro.core.masking.MaskingStrategy` names (kept in
+#: sync with ``MASKING_NAME_RE`` there; duplicated locally because the
+#: core package imports obs at module load, so obs cannot import back).
+_MASKING_NAME_RE = re.compile(r"^MASKING\[b=(?P<b>\d+),(?P<inner>[^\]]+)\]$")
+
+
+def _masking_name_parts(name: str) -> Optional[Tuple[int, str]]:
+    """``(b, inner_strategy)`` when ``name`` is a MaskingStrategy name."""
+    match = _MASKING_NAME_RE.match(name or "")
+    if match is None:
+        return None
+    return int(match.group("b")), match.group("inner")
+
+
+def _uniform_advertise(name: str) -> bool:
+    """Whether an advertise strategy samples uniformly (Lemma 5.2).
+
+    A masking wrapper is uniform exactly when its inner strategy is.
+    """
+    if name in UNIFORM_ADVERTISE_STRATEGIES:
+        return True
+    parts = _masking_name_parts(name)
+    return parts is not None and parts[1] in UNIFORM_ADVERTISE_STRATEGIES
 
 #: Violations recorded by env-attached hubs this process (newest last);
 #: the CLI drains it to report live-watch results after a figure run.
@@ -303,6 +331,17 @@ class NoFabricationWatcher(Watcher):
     was never stored — or that carries no hit at all on a found access —
     is a fabrication.  Events recorded without a ``key`` payload
     (pre-schema-2 traces, bare-strategy tests) are skipped.
+
+    Versioned services additionally stamp store events and lookup
+    ``access-end`` events with the written/accepted version.  The
+    *accepted* version of a found lookup must have been legitimately
+    stored for its key: a lying replica that fabricates a plausible
+    value for a real key is caught the moment its fabrication wins an
+    access, because its invented version was never written.  Raw probe
+    events are deliberately *not* version-checked — under a masking
+    strategy, fabricated probe replies are expected and harmless (the
+    vote filter discards them); the invariant is about what the system
+    accepts, not what an adversary says.
     """
 
     name = "no-fabricated-value"
@@ -311,6 +350,7 @@ class NoFabricationWatcher(Watcher):
     def __init__(self) -> None:
         super().__init__()
         self._stored_keys: set = set()
+        self._stored_versions: set = set()   # (key, version) pairs
         self._hit_keys: set = set()
 
     def handler_for(self, kind: str) -> Callable[[TraceEvent], None]:
@@ -334,6 +374,9 @@ class NoFabricationWatcher(Watcher):
         key = event.fields.get("key")
         if key is not None:
             self._stored_keys.add(key)
+            version = event.fields.get("version")
+            if version is not None:
+                self._stored_versions.add((key, version))
 
     def _on_probe(self, event: TraceEvent) -> None:
         fields = event.fields
@@ -353,11 +396,22 @@ class NoFabricationWatcher(Watcher):
         if (fields.get("access") == "lookup"
                 and fields.get("found")):
             key = fields.get("key")
-            if key is not None and key not in self._stored_keys:
+            if key is None:
+                return
+            if key not in self._stored_keys:
                 self.violation(
                     "fabricated-value",
                     f"lookup access-end at seq {event.seq} claims "
                     f"found=True for never-stored key {key!r}")
+                return
+            version = fields.get("version")
+            if (version is not None
+                    and (key, version) not in self._stored_versions):
+                self.violation(
+                    "fabricated-value",
+                    f"lookup access-end at seq {event.seq} accepted "
+                    f"version {version!r} for key {key!r}, which no "
+                    f"prior advertise ever wrote")
 
 
 @dataclass
@@ -403,7 +457,7 @@ class QuorumIntersectionWatcher(Watcher):
         self.hits = 0
         self.expected_floor = 0.0     # sum of per-lookup p_intersection
         self._stored: Dict[Any, set] = {}     # key -> nodes ever storing it
-        self._p_hit_memo: Dict[Tuple[int, int, int], float] = {}
+        self._p_hit_memo: Dict[Tuple[int, int, int, int], float] = {}
         self._dead: set = set()
         self._joined = 0              # net alive-count delta from churn
         self._open_lookups: List[_LookupFrame] = []
@@ -464,7 +518,7 @@ class QuorumIntersectionWatcher(Watcher):
         f = event.fields
         access = f.get("access")
         if access == "advertise":
-            if str(f.get("strategy", "?")) not in UNIFORM_ADVERTISE_STRATEGIES:
+            if not _uniform_advertise(str(f.get("strategy", "?"))):
                 self.armed = False
         elif access == "lookup":
             self._open_lookups.append(_LookupFrame(
@@ -491,11 +545,20 @@ class QuorumIntersectionWatcher(Watcher):
             return
         q_a = min(q_a, n)
         q_l = min(q_l, n)
+        # Masked lookups only report found when b+1 replies agree, so
+        # their success floor is the masking bound Pr[|Qa ∩ Ql| >= 2b+1]
+        # (sound for any adversary of size <= b — the honest part of the
+        # intersection still corroborates the true value).
+        masking = _masking_name_parts(frame.strategy)
+        b = masking[0] if masking is not None else 0
         # Lookup sizes repeat across a run; memoize the O(q_a) product.
-        memo_key = (q_a, q_l, n)
+        memo_key = (q_a, q_l, n, b)
         p_hit = self._p_hit_memo.get(memo_key)
         if p_hit is None:
-            p_hit = 1.0 - miss_probability_exact(q_a, q_l, n)
+            if b > 0:
+                p_hit = 1.0 - masking_miss_probability_exact(q_a, q_l, n, b)
+            else:
+                p_hit = 1.0 - miss_probability_exact(q_a, q_l, n)
             self._p_hit_memo[memo_key] = p_hit
         self.lookups_counted += 1
         self.expected_floor += p_hit

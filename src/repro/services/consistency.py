@@ -16,6 +16,7 @@ preceding write (or the initial value if none).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, List
 
@@ -43,12 +44,27 @@ class ConsistencyReport:
     writes: int
 
     @property
+    def stale_fraction(self) -> float:
+        """Stale reads per read; NaN with no reads (the repo's degenerate
+        -input convention — an empty history carries no evidence either
+        way, which 0.0 would misreport as "perfectly consistent")."""
+        if self.reads == 0:
+            return math.nan
+        return self.stale_reads / self.reads
+
+    @property
     def violation_rate(self) -> float:
-        return self.stale_reads / self.reads if self.reads else 0.0
+        """Alias of :attr:`stale_fraction` (historical name)."""
+        return self.stale_fraction
 
     def within_epsilon(self, epsilon: float, slack: float = 0.0) -> bool:
-        """Whether the empirical violation rate honours the quorum bound."""
-        return self.violation_rate <= epsilon + slack
+        """Whether the empirical violation rate honours the quorum bound.
+
+        Vacuously true with no reads: an empty history cannot violate.
+        """
+        if self.reads == 0:
+            return True
+        return self.stale_fraction <= epsilon + slack
 
 
 class CheckedRegister:
@@ -75,21 +91,33 @@ class CheckedRegister:
         return result
 
     def check(self, initial_value: Any = None) -> ConsistencyReport:
-        """Validate every read against the latest preceding write.
+        """Validate every read against the latest *committed* write.
 
-        Sequential histories only (which is what this simulator produces);
-        a read returning any older value — including the initial one after
-        a write happened — counts as one stale read.
+        Sequential histories only (which is what this simulator
+        produces).  A read is stale iff the version it returned is
+        strictly older than the version of the latest write committed
+        before the read started — comparing *versions*, not values, so
+        a read that races a write's delivery window but still returns
+        the new (or a newer helper-propagated) timestamp is not
+        miscounted as stale.  Records without timestamps (forged
+        histories, pre-version traces) fall back to value equality.
         """
-        latest = initial_value
+        latest_value = initial_value
+        latest_ts = None
         reads = stale = writes = 0
         for op in self.history:
             if op.kind == "write":
                 writes += 1
-                latest = op.value
+                latest_value = op.value
+                if op.timestamp is not None and (
+                        latest_ts is None or latest_ts < op.timestamp):
+                    latest_ts = op.timestamp
             else:
                 reads += 1
-                if op.value != latest:
+                if op.timestamp is not None and latest_ts is not None:
+                    if op.timestamp < latest_ts:
+                        stale += 1
+                elif op.value != latest_value:
                     stale += 1
         return ConsistencyReport(reads=reads, stale_reads=stale,
                                  writes=writes)

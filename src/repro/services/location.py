@@ -26,6 +26,16 @@ from repro.core.biquorum import ProbabilisticBiquorum
 from repro.core.strategies import AccessResult
 
 
+def _reply_version(reply: Tuple[Any, int]) -> int:
+    """Version component of a (value, version) probe reply."""
+    return reply[1]
+
+
+def _reply_value(reply: Tuple[Any, int]) -> Any:
+    """Value component of a (value, version) probe reply."""
+    return reply[0]
+
+
 @dataclass
 class StoredEntry:
     """One advertised mapping held by an owner node."""
@@ -148,8 +158,10 @@ class LocationService:
                 key=key, value=value, version=version, origin=origin,
                 stored_at=self.net.now))
 
-        # Key context for trace events (read by the invariant watchers).
+        # Key/version context for trace events (read by the invariant
+        # watchers, which cross-check replies against prior stores).
         store_fn.access_key = key
+        store_fn.access_version = version
 
         access = self.biquorum.write(origin, store_fn)
         self._advertised[key] = (origin, value, version)
@@ -179,6 +191,12 @@ class LocationService:
             return None
 
         probe_fn.access_key = key
+        # Replies are (value, version) pairs: tell the tracing layer how
+        # to extract the version, and the masking filter which component
+        # identifies a candidate (votes aggregate across versions of the
+        # same value, so refresh-skewed honest replicas still agree).
+        probe_fn.access_version_of = _reply_version
+        probe_fn.access_vote_key = _reply_value
 
         access = self.biquorum.read(origin, probe_fn)
         found = bool(access.found and (access.reply_delivered

@@ -252,6 +252,10 @@ class SimNetwork:
             self.sim, config.heartbeat_interval, self._refresh_neighbor_tables
         )
 
+        # Adversarial replica registry (repro.faults.byzantine); None on
+        # honest networks so the access path pays one attribute check.
+        self.byzantine = None
+
         # Live invariant watchers (REPRO_WATCH env hook).  Attached last
         # so the hub sees the finished topology (n_alive for the
         # intersection bound).  Lazy import: the common path pays one

@@ -15,6 +15,7 @@ from repro.core.strategies import AccessResult, AccessStrategy
 from repro.experiments import maintenance_curves
 from repro.faults import (
     BUILTIN_CAMPAIGNS,
+    ByzantineBehavior,
     CampaignRunner,
     DropBurst,
     FailureWave,
@@ -420,6 +421,89 @@ class TestCampaignRunner:
         assert net.config.drop_prob == 0.0  # active burst unwound
         net.run_until(60.0)
         assert net.n_alive == n_now  # pending wave cancelled
+
+
+class TestOverlappingInjections:
+    """Regression: overlapping windows must unwind in reverse-begin
+    order, each restoring its predecessor's state — not the baseline."""
+
+    def test_nested_drop_bursts_restore_outer_then_baseline(self):
+        net = make_net()
+        campaign = FaultCampaign("nest", (
+            DropBurst(at=1.0, duration=10.0, drop_prob=0.4),
+            DropBurst(at=2.0, duration=3.0, drop_prob=0.7)))
+        CampaignRunner(net, campaign).start()
+        net.run_until(2.5)
+        assert net.config.drop_prob == 0.7
+        net.run_until(6.0)   # inner ended: outer burst still active
+        assert net.config.drop_prob == 0.4
+        net.run_until(12.0)  # outer ended: baseline restored
+        assert net.config.drop_prob == 0.0
+
+    def test_identical_overlapping_bursts_unwind_independently(self):
+        # Two value-equal (frozen dataclass) bursts active at once: the
+        # runner must track them as distinct activations, not collapse
+        # them by equality.
+        net = make_net()
+        campaign = FaultCampaign("twins", (
+            DropBurst(at=1.0, duration=10.0, drop_prob=0.5),
+            DropBurst(at=2.0, duration=3.0, drop_prob=0.5)))
+        CampaignRunner(net, campaign).start()
+        net.run_until(6.0)   # inner twin ended
+        assert net.config.drop_prob == 0.5  # outer twin still holds
+        net.run_until(12.0)
+        assert net.config.drop_prob == 0.0
+
+    def test_nested_staleness_windows_stay_frozen_until_last_end(self):
+        net = make_net(seed=10)
+        membership = FullMembership(net)
+        campaign = FaultCampaign("sn", (
+            StalenessWindow(at=1.0, duration=10.0),
+            StalenessWindow(at=2.0, duration=3.0)))
+        CampaignRunner(net, campaign, memberships=(membership,)).start()
+        net.run_until(6.0)   # inner window over, outer still open
+        view_during = set(membership.view())
+        victim = net.alive_nodes()[0]
+        net.fail_node(victim)
+        membership.refresh()  # must still be frozen
+        assert set(membership.view()) == view_during
+        net.run_until(12.0)  # outer over: thaw refreshes
+        assert victim not in set(membership.view())
+
+    def test_stop_unwinds_in_reverse_begin_order(self):
+        net = make_net()
+        campaign = FaultCampaign("lifo", (
+            DropBurst(at=1.0, duration=50.0, drop_prob=0.4),
+            DropBurst(at=2.0, duration=50.0, drop_prob=0.7)))
+        runner = CampaignRunner(net, campaign).start()
+        net.run_until(3.0)
+        assert net.config.drop_prob == 0.7
+        runner.stop()  # pops inner (restores 0.4) then outer (0.0)
+        assert net.config.drop_prob == 0.0
+
+    def test_byzantine_window_attaches_and_detaches(self):
+        net = make_net(seed=11)
+        campaign = FaultCampaign("byz", (
+            ByzantineBehavior(at=1.0, duration=5.0, behavior="lie",
+                              fraction=0.2),))
+        runner = CampaignRunner(net, campaign).start()
+        net.run_until(2.0)
+        assert net.byzantine is not None and net.byzantine.active
+        assert set(net.byzantine.modes.values()) == {"lie"}
+        net.run_until(7.0)   # window over: honest again
+        assert not net.byzantine.active
+        assert runner.injections_applied == 1
+
+    def test_stop_detaches_active_byzantine_nodes(self):
+        net = make_net(seed=12)
+        campaign = FaultCampaign("byzstop", (
+            ByzantineBehavior(at=1.0, duration=50.0, behavior="drop",
+                              fraction=0.2),))
+        runner = CampaignRunner(net, campaign).start()
+        net.run_until(2.0)
+        assert net.byzantine.active
+        runner.stop()
+        assert not net.byzantine.active
 
 
 # ---------------------------------------------------------------------------

@@ -117,6 +117,31 @@ class _Crasher(Watcher):
         raise RuntimeError("boom")
 
 
+class _AuditRaiser(Watcher):
+    """Simulates strict-mode auditing: its raises are deliberate."""
+
+    name = "audit-raiser"
+
+    def __init__(self, at_finish=False):
+        super().__init__()
+        self.at_finish = at_finish
+
+    def on_event(self, event):
+        if not self.at_finish:
+            raise AuditError("deliberate strict raise")
+
+    def finish(self):
+        if self.at_finish:
+            raise AuditError("deliberate strict raise at finish")
+
+
+class _Interrupter(Watcher):
+    name = "interrupter"
+
+    def on_event(self, event):
+        raise KeyboardInterrupt
+
+
 class TestExceptionIsolation:
     def test_crashing_watcher_never_breaks_the_stream(self):
         hub = WatcherHub([_Crasher(), MonotonicityWatcher()])
@@ -144,6 +169,53 @@ class TestExceptionIsolation:
         hub.on_event(_ev(2, "hop", t=6.0))
         assert not hub.clean
         assert auditor.violations[0].code == "monotonicity-clock"
+
+    def test_audit_error_from_handler_propagates(self):
+        # Regression: the dispatch isolation must NOT swallow the
+        # deliberate strict-audit raise into a watcher-crashed flag.
+        hub = WatcherHub([_AuditRaiser(), MonotonicityWatcher()])
+        with pytest.raises(AuditError):
+            hub.on_event(_ev(0, "hop", t=1.0))
+        assert hub.crashes == 0
+        assert not any(v.code == "watcher-crashed" for v in hub.violations)
+
+    def test_audit_error_from_finish_propagates(self):
+        hub = WatcherHub([_AuditRaiser(at_finish=True)])
+        hub.on_event(_ev(0, "hop", t=1.0))
+        with pytest.raises(AuditError):
+            hub.finish()
+        assert hub.crashes == 0
+
+    def test_keyboard_interrupt_propagates(self):
+        # BaseException escapes the isolation net entirely — a ^C must
+        # stop the run, never be recorded as a crashed watcher.
+        hub = WatcherHub([_Interrupter()])
+        with pytest.raises(KeyboardInterrupt):
+            hub.on_event(_ev(0, "hop", t=1.0))
+        assert hub.crashes == 0
+
+    def test_plain_crash_in_finish_still_isolated(self):
+        class FinishCrasher(Watcher):
+            name = "finish-crasher"
+
+            def finish(self):
+                raise RuntimeError("boom at finish")
+
+        hub = WatcherHub([FinishCrasher()])
+        hub.finish()  # no raise
+        assert hub.crashes == 1
+        assert hub.violations[0].code == "watcher-crashed"
+
+    def test_audit_error_propagates_in_every_fused_arity(self):
+        # The dispatch fuses 1, 2, and N handlers into different
+        # closures; the AuditError re-raise must hold in each shape.
+        for extras in (0, 1, 3):
+            watchers = [_AuditRaiser()] + [
+                MonotonicityWatcher() for _ in range(extras)]
+            hub = WatcherHub(watchers)
+            with pytest.raises(AuditError):
+                hub.on_event(_ev(0, "hop", t=1.0))
+            assert hub.crashes == 0
 
     def test_session_ledger_mirrors_violations(self):
         ledger = []
