@@ -1,0 +1,161 @@
+"""KV serving benchmark — the batched workload kernel at a million ops.
+
+Produces the ``kvstore`` block of ``BENCH_simnet.json``:
+
+* the million-op gate: one seeded batched point (>= 1M operations)
+  must complete in seconds with a clean consistency check and a stale
+  fraction inside the lease analysis' replication interval;
+* a lease-TTL sweep showing the measured stale-read fraction tracking
+  :func:`repro.analysis.leases.stale_read_probability_exact` cell by
+  cell (the ``repro kv`` figure's acceptance criterion);
+* a sequential-backend smoke point (the live network path that the
+  golden kv trace pins byte for byte).
+"""
+
+import json
+import math
+import time
+
+from conftest import (
+    BENCH_TIMINGS_PATH,
+    FULL_SCALE,
+    record_result,
+)
+
+from repro.experiments import (
+    KVPointConfig,
+    WorkloadSpec,
+    format_table,
+    kv_sweep,
+    run_workload_batched,
+)
+
+GATE_OPS = 2_000_000 if FULL_SCALE else 1_000_000
+
+
+def _merge_block(key, entry):
+    payload = {}
+    if BENCH_TIMINGS_PATH.exists():
+        try:
+            payload = json.loads(BENCH_TIMINGS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            payload = {}
+    block = payload.setdefault("kvstore", {})
+    block[key] = entry
+    BENCH_TIMINGS_PATH.write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True) + "\n")
+
+
+def test_kvstore_million_op_gate():
+    """>= 1M ops through the batched kernel: seconds, clean, on-model."""
+    spec = WorkloadSpec(ops=GATE_OPS, n_keys=128, read_fraction=0.92,
+                        cas_fraction=0.05, arrival_rate=2000.0, seed=7)
+    config = KVPointConfig(n=400, churn_rate=0.01, lease_ttl=30.0)
+    start = time.perf_counter()
+    stats = run_workload_batched(spec, config)
+    wall = time.perf_counter() - start
+
+    assert stats.report.clean, stats.report.lines()
+    # Binomial CI on the measured stale fraction around the analytic
+    # prediction (4 sigma + a small model slack).
+    hw = 4.0 * math.sqrt(stats.predicted_stale
+                         * (1.0 - stats.predicted_stale)
+                         / stats.eligible_reads)
+    on_model = abs(stats.stale_fraction
+                   - stats.predicted_stale) <= hw + 1e-3
+    entry = {
+        "ops": GATE_OPS,
+        "n": config.n,
+        "lease_ttl": config.lease_ttl,
+        "churn_rate": config.churn_rate,
+        "seconds": round(wall, 3),
+        "ops_per_second": round(GATE_OPS / wall),
+        "stale_fraction": round(stats.stale_fraction, 6),
+        "predicted_stale": round(stats.predicted_stale, 6),
+        "availability": round(stats.availability, 6),
+        "p50_s": round(stats.p50, 6),
+        "p99_s": round(stats.p99, 6),
+        "p999_s": round(stats.p999, 6),
+        "checker_clean": stats.report.clean,
+        "stale_on_model": on_model,
+    }
+    _merge_block("million_op_gate", entry)
+    record_result("kvstore_gate", format_table(
+        ["ops", "seconds", "ops/s", "stale", "predicted", "avail",
+         "p99 (s)"],
+        [(GATE_OPS, entry["seconds"], entry["ops_per_second"],
+          entry["stale_fraction"], entry["predicted_stale"],
+          entry["availability"], entry["p99_s"])]))
+    print(f"\n[kvstore] {GATE_OPS} ops in {wall:.2f}s "
+          f"({GATE_OPS / wall:,.0f} ops/s), stale "
+          f"{stats.stale_fraction:.4f} vs predicted "
+          f"{stats.predicted_stale:.4f}")
+    assert wall < 60.0, f"million-op point too slow: {wall:.1f}s"
+    assert on_model, (stats.stale_fraction, stats.predicted_stale, hw)
+
+
+def test_kvstore_ttl_sweep_tracks_analysis():
+    """Stale fraction vs lease TTL, each cell vs the exact prediction."""
+    ttls = (5.0, 10.0, 20.0, 40.0, 80.0)
+    ops = 400_000 if FULL_SCALE else 120_000
+    start = time.perf_counter()
+    cells = kv_sweep(backend="batched", ttls=ttls, rates=(2000.0,),
+                     ops=ops, n=400, n_keys=128, churn_rate=0.01,
+                     reps=3, seed=7)
+    wall = time.perf_counter() - start
+    rows, entries = [], []
+    for cell in cells:
+        rows.append((cell.point.ttl, round(cell.stale, 5),
+                     round(cell.predicted, 5),
+                     round(cell.availability, 4),
+                     "yes" if cell.tracks_prediction else "NO"))
+        entries.append({
+            "ttl": cell.point.ttl,
+            "stale": round(cell.stale, 6),
+            "predicted": round(cell.predicted, 6),
+            "availability": round(cell.availability, 6),
+            "tracks_prediction": bool(cell.tracks_prediction),
+            "violations": cell.violations,
+        })
+    _merge_block("ttl_sweep", {
+        "ops_per_cell": ops, "reps": 3, "seconds": round(wall, 3),
+        "cells": entries})
+    record_result("kvstore_ttl_sweep", format_table(
+        ["ttl (s)", "stale", "predicted", "avail", "on model"], rows))
+    print(f"\n[kvstore] ttl sweep ({len(ttls)} cells x 3 reps, "
+          f"{ops} ops each): {wall:.1f}s")
+    assert all(c.violations == 0 for c in cells)
+    assert all(c.tracks_prediction for c in cells), rows
+    # The monotone headline: a short lease expires the newest holders
+    # before readers arrive, so staleness *falls* as the TTL grows,
+    # flattening onto the churn-limited floor.  The analytic curve is
+    # exactly monotone; the empirical one matches it modulo the flat
+    # tail, so the end-to-end drop is what gets the hard assertion.
+    predicted = [c.predicted for c in cells]
+    assert predicted == sorted(predicted, reverse=True), predicted
+    assert cells[0].stale > cells[-1].stale + 2 * cells[-1].stale_hw
+
+
+def test_kvstore_sequential_smoke():
+    """The live-network path stays correct (and honest about cost)."""
+    from repro.experiments.fig_kv import KVSweepPoint, evaluate_kv_point
+    point = KVSweepPoint(backend="sequential", strategy="random",
+                         ttl=40.0, rate=20.0, ops=300, n=100, n_keys=8,
+                         read_fraction=0.85, cas_fraction=0.1,
+                         zipf_s=0.99, churn_rate=0.0, epsilon=0.05,
+                         min_survival=0.9)
+    start = time.perf_counter()
+    stats = evaluate_kv_point(point, seed=7)
+    wall = time.perf_counter() - start
+    assert stats.report.clean
+    entry = {
+        "ops": 300,
+        "n": 100,
+        "seconds": round(wall, 3),
+        "availability": round(stats.availability, 4),
+        "p50_s": round(stats.p50, 6),
+        "checker_clean": stats.report.clean,
+    }
+    _merge_block("sequential_smoke", entry)
+    print(f"\n[kvstore] sequential 300 ops: {wall:.2f}s, "
+          f"availability {stats.availability:.3f}")

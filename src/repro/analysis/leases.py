@@ -1,0 +1,147 @@
+"""Timed-quorum lease theory (PAPERS.md: "Timed Quorum Systems for
+Large-Scale and Dynamic Environments", composed with Lemma 5.2).
+
+A replica that stored a value at time ``t0`` with lease TTL ``T`` answers
+for it only while (a) the lease has not expired (``now - t0 < T``) and
+(b) the node itself survived the interval.  Under memoryless churn at
+rate ``lambda`` per node per unit time, a single advertise-quorum member
+is still a *visible holder* at age ``a`` with probability
+
+    ``p(a) = exp(-lambda * a)``  if ``a < T``, else ``0``.
+
+With ``|Qa|`` holders thinned independently at probability ``p``, the
+number of surviving holders ``S`` is Binomial(|Qa|, p) and a lookup of
+size ``|Ql|`` misses exactly when its uniform without-replacement sample
+avoids all ``S`` survivors:
+
+    ``Pr(stale) = sum_s Binom(|Qa|, s, p) * miss_exact(s, |Ql|, n)``.
+
+The closed-form *bound* uses ``miss_exact(s, ql, n) <= exp(-s ql / n)``
+(each factor ``(n - s - i)/(n - i) <= 1 - s/n <= exp(-s/n)``) and the
+binomial moment generating function:
+
+    ``Pr(stale) <= E[exp(-S ql / n)] = (1 - p + p exp(-ql/n)) ^ |Qa|``.
+
+At ``p = 1`` (infinite TTL, no churn) the bound collapses to Lemma 5.2's
+``exp(-|Qa| |Ql| / n)`` and the exact form to the hypergeometric product.
+Inverting the survival floor gives the adaptive lease duration the same
+way :class:`repro.services.maintenance.RefreshDaemon` re-derives the
+Section 6.1 refresh interval from the observed churn rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.intersection import (
+    _validate,
+    _validate_eps,
+    miss_probability_bound,
+    miss_probability_exact,
+)
+
+__all__ = [
+    "lease_survival_probability",
+    "stale_read_probability_exact",
+    "stale_read_probability_bound",
+    "lease_ttl_for_churn",
+    "min_survival_for_epsilon",
+]
+
+
+def lease_survival_probability(age: float, churn_rate: float,
+                               ttl: float) -> float:
+    """``Pr(a given holder still answers)`` for an entry of ``age``.
+
+    Memoryless node churn at ``churn_rate`` thins holders exponentially;
+    the lease cuts survival to exactly zero once ``age >= ttl``.
+    """
+    if age < 0.0:
+        raise ValueError("age must be non-negative")
+    if churn_rate < 0.0:
+        raise ValueError("churn_rate must be non-negative")
+    if ttl <= 0.0:
+        raise ValueError("ttl must be positive")
+    if age >= ttl:
+        return 0.0
+    return math.exp(-churn_rate * age)
+
+
+def stale_read_probability_exact(quorum_a: int, quorum_l: int, n: int,
+                                 survival: float) -> float:
+    """Exact ``Pr(lookup sees no surviving holder)``.
+
+    Binomial thinning of the advertise quorum at ``survival`` composed
+    with the exact hypergeometric miss of Lemma 5.2's selection process.
+    ``survival = 1`` reduces to :func:`miss_probability_exact`.
+    """
+    _validate(quorum_a, quorum_l, n)
+    if not 0.0 <= survival <= 1.0:
+        raise ValueError("survival must be in [0, 1]")
+    prob = 0.0
+    for s in range(quorum_a + 1):
+        weight = (math.comb(quorum_a, s) * survival ** s
+                  * (1.0 - survival) ** (quorum_a - s))
+        if weight == 0.0:
+            continue
+        prob += weight * miss_probability_exact(s, quorum_l, n)
+    return min(prob, 1.0)
+
+
+def stale_read_probability_bound(quorum_a: int, quorum_l: int, n: int,
+                                 survival: float) -> float:
+    """Closed-form upper bound ``(1 - p + p exp(-|Ql|/n)) ^ |Qa|``.
+
+    Provably dominates :func:`stale_read_probability_exact` (binomial
+    MGF over the per-survivor factor ``exp(-|Ql|/n)``); equals Lemma
+    5.2's ``exp(-|Qa| |Ql| / n)`` at ``survival = 1``.
+    """
+    _validate(quorum_a, quorum_l, n)
+    if not 0.0 <= survival <= 1.0:
+        raise ValueError("survival must be in [0, 1]")
+    per_survivor = math.exp(-quorum_l / n)
+    return (1.0 - survival + survival * per_survivor) ** quorum_a
+
+
+def lease_ttl_for_churn(churn_rate: float, min_survival: float,
+                        min_ttl: float = 1.0,
+                        max_ttl: float = 1e6) -> float:
+    """Lease duration keeping holder survival above ``min_survival``.
+
+    Inverts ``exp(-churn_rate * ttl) >= min_survival`` into
+    ``ttl = ln(1/min_survival) / churn_rate``, clamped to
+    ``[min_ttl, max_ttl]``.  A quiet network (``churn_rate == 0``) gets
+    the longest allowed lease.
+    """
+    _validate_eps(min_survival)
+    if churn_rate < 0.0:
+        raise ValueError("churn_rate must be non-negative")
+    if min_ttl <= 0.0 or max_ttl < min_ttl:
+        raise ValueError("need 0 < min_ttl <= max_ttl")
+    if churn_rate == 0.0:
+        return max_ttl
+    ttl = math.log(1.0 / min_survival) / churn_rate
+    return min(max(ttl, min_ttl), max_ttl)
+
+
+def min_survival_for_epsilon(quorum_a: int, quorum_l: int, n: int,
+                             epsilon: float) -> float:
+    """Smallest per-holder survival keeping the stale bound below ``eps``.
+
+    Solves ``(1 - p + p exp(-ql/n)) ^ qa <= eps`` for ``p``; returns 1.0
+    when even fully-live quorums cannot reach ``eps`` (the caller should
+    then grow the quorums, not the lease).
+    """
+    _validate(quorum_a, quorum_l, n)
+    _validate_eps(epsilon)
+    if quorum_a == 0:
+        return 1.0
+    if miss_probability_bound(quorum_a, quorum_l, n) > epsilon:
+        return 1.0
+    per_survivor = math.exp(-quorum_l / n)
+    # (1 - p (1 - per_survivor)) = eps^(1/qa)  =>  p = (1 - eps^(1/qa)) / (1 - per_survivor)
+    target = epsilon ** (1.0 / quorum_a)
+    if per_survivor >= 1.0:
+        return 1.0
+    p = (1.0 - target) / (1.0 - per_survivor)
+    return min(max(p, 0.0), 1.0)

@@ -297,12 +297,50 @@ def _byz(args) -> str:
             f"{table}\n\n{chart}")
 
 
+def _kv(args) -> str:
+    from repro.experiments.ascii_plot import render_series
+
+    cells = ex.kv_sweep(
+        backend=args.kv_backend, strategies=tuple(args.strategies),
+        ttls=tuple(args.ttl), rates=tuple(args.rate), ops=args.ops,
+        n=args.n, n_keys=args.keys, read_fraction=args.read_fraction,
+        cas_fraction=args.cas_fraction, zipf_s=args.zipf,
+        churn_rate=args.churn_rate, epsilon=args.epsilon,
+        reps=args.reps, jobs=args.jobs, seed=args.seed)
+    table = format_table(
+        ["strategy", "ttl", "rate", "p50", "p99", "p999", "stale",
+         "pred", "avail", "cas ok", "viol", "ok"],
+        [(c.point.strategy, round(c.point.effective_ttl, 2), c.point.rate,
+          c.p50, c.p99, c.p999,
+          format_pm(c.stale, c.stale_hw), c.predicted, c.availability,
+          c.cas_ok, c.violations,
+          {True: "yes", False: "NO", None: "-"}[c.tracks_prediction])
+         for c in cells])
+    series = {}
+    for rate in dict.fromkeys(c.point.rate for c in cells):
+        mine = [c for c in cells if c.point.rate == rate]
+        series[f"stale rate={rate:g}"] = [
+            (c.point.effective_ttl, c.stale) for c in mine]
+        if any(c.predicted == c.predicted for c in mine):
+            series[f"analytic rate={rate:g}"] = [
+                (c.point.effective_ttl, c.predicted) for c in mine
+                if c.predicted == c.predicted]
+    chart = render_series(series, x_label="lease TTL (s)",
+                          y_label="stale-read fraction")
+    dirty = sum(c.violations for c in cells)
+    verdict = ("consistency checker: clean" if dirty == 0
+               else f"consistency checker: {dirty} VIOLATIONS")
+    return (f"KV serving benchmark ({args.kv_backend} backend, "
+            f"{args.ops} ops/point, churn {args.churn_rate}/node-s)\n"
+            f"{table}\n\n{chart}\n\n{verdict}")
+
+
 FIGURES: Dict[str, Callable] = {
     "fig3": _fig3, "fig4": _fig4, "fig5": _fig5, "fig6": _fig6,
     "fig7": _fig7, "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
     "fig11": _fig11, "fig12": _fig12, "fig13": _fig13, "fig14": _fig14,
     "fig15": _fig15, "fig16": _fig16, "maint": _maint,
-    "quorum": _quorum, "byz": _byz,
+    "quorum": _quorum, "byz": _byz, "kv": _kv,
 }
 
 DESCRIPTIONS = {
@@ -323,6 +361,7 @@ DESCRIPTIONS = {
     "maint": "maintenance degradation, refresh off vs adaptive",
     "quorum": "algebraic quorum systems: optimized strategy vs simulation",
     "byz": "byzantine sweep: masking quorums vs undefended RANDOM",
+    "kv": "replicated kv serving benchmark: leases, latency, staleness",
 }
 
 
@@ -435,6 +474,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="number of advertisements")
     frun.add_argument("--lookups", type=int, default=60,
                       help="number of lookups spread over the campaign")
+    frun.add_argument("--workload", choices=("location", "kv"),
+                      default="location",
+                      help="service under test: the location service "
+                           "lookup workload (default) or the quorum "
+                           "key-value store with timed leases and the "
+                           "consistency-history checker")
+    frun.add_argument("--kv-ops", type=int, default=200, metavar="OPS",
+                      help="kv workload: operations spread over the "
+                           "campaign (--workload kv)")
+    frun.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                      help="kv workload: fixed lease TTL in seconds "
+                           "(default: adaptive, derived from observed "
+                           "churn)")
     frun.add_argument("--refresh", choices=("adaptive", "static", "off"),
                       default="adaptive", help="refresh daemon mode")
     frun.add_argument("--masking-b", type=int, default=None, metavar="B",
@@ -515,6 +567,39 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--byz-b", type=int, default=None, metavar="B",
                            help="masking budget b for the defended legs "
                                 "(default: ceil(max fraction * n))")
+        if name == "kv":
+            p.add_argument("--kv-backend", choices=("batched", "sequential"),
+                           default="batched",
+                           help="workload engine: batched numpy kernel "
+                                "(~1M ops in seconds) or the live "
+                                "QuorumKVStore service")
+            p.add_argument("--strategies", nargs="+", metavar="NAME",
+                           default=["random"],
+                           help="sequential-backend access strategies "
+                                "(random, masking:<b>); the batched "
+                                "backend always models uniform quorums")
+            p.add_argument("--ttl", type=float, nargs="+", metavar="SEC",
+                           default=[5.0, 20.0, 80.0],
+                           help="lease TTLs to sweep; 0 derives the TTL "
+                                "from the churn rate via the lease "
+                                "analysis")
+            p.add_argument("--rate", type=float, nargs="+", metavar="OPS",
+                           default=[2000.0],
+                           help="open-loop arrival rates (ops per "
+                                "simulated second)")
+            p.add_argument("--ops", type=int, default=200_000,
+                           help="operations per sweep point")
+            p.add_argument("--read-fraction", type=float, default=0.92,
+                           help="fraction of ops that are reads")
+            p.add_argument("--cas-fraction", type=float, default=0.05,
+                           help="fraction of the write share issued as "
+                                "compare-and-swap")
+            p.add_argument("--zipf", type=float, default=0.99,
+                           help="Zipf key-popularity exponent")
+            p.add_argument("--churn-rate", type=float, default=0.01,
+                           help="node churn events per node-second")
+            p.add_argument("--seed", type=int, default=7,
+                           help="master seed")
         if name == "quorum":
             p.add_argument("--systems", nargs="+", metavar="NAME",
                            choices=sorted(BUILTIN_SYSTEMS),
@@ -640,11 +725,21 @@ def _run_faults(args) -> int:
             print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
             return 2
     try:
-        report = run_fault_campaign(
-            campaign=args.campaign, n=args.n, seed=args.seed,
-            n_keys=args.keys, n_lookups=args.lookups, refresh=args.refresh,
-            watch=args.watch, slo_specs=slo_specs,
-            masking_b=args.masking_b)
+        if args.workload == "kv":
+            from repro.faults import run_kv_fault_campaign
+            report = run_kv_fault_campaign(
+                campaign=args.campaign, n=args.n, seed=args.seed,
+                n_keys=args.keys, n_ops=args.kv_ops,
+                lease_ttl=args.lease_ttl,
+                watch=args.watch, slo_specs=slo_specs,
+                masking_b=args.masking_b)
+        else:
+            report = run_fault_campaign(
+                campaign=args.campaign, n=args.n, seed=args.seed,
+                n_keys=args.keys, n_lookups=args.lookups,
+                refresh=args.refresh,
+                watch=args.watch, slo_specs=slo_specs,
+                masking_b=args.masking_b)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -656,6 +751,10 @@ def _run_faults(args) -> int:
     print("\n".join(report.lines()))
     if args.trace:
         print(f"[trace] events written to {args.trace}", file=sys.stderr)
+    if (args.workload == "kv" and args.fail_on_violation
+            and not report.clean):
+        print("kv consistency checker reported violations", file=sys.stderr)
+        return 1
     if report.watch is not None:
         from repro.obs.slo import verdict_path_for, write_verdict_report
         payload = dict(report.watch)

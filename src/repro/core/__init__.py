@@ -6,6 +6,7 @@ from repro.core.biquorum import (
     plan_sizes,
 )
 from repro.core.gossip import GossipFloodStrategy
+from repro.core.leases import LeasedEntry, LeaseTable
 from repro.core.masking import MaskingStrategy, parse_masking_name
 from repro.core.strategies import (
     AccessPolicy,
@@ -28,6 +29,8 @@ __all__ = [
     "AccessResult",
     "AccessStrategy",
     "FloodingStrategy",
+    "LeaseTable",
+    "LeasedEntry",
     "MaskingStrategy",
     "parse_masking_name",
     "PathStrategy",

@@ -69,6 +69,22 @@ from repro.experiments.fig_byz import (
     byzantine_sweep,
     undefended_corrupt_bound,
 )
+from repro.experiments.fig_kv import (
+    KVCell,
+    KVSweepPoint,
+    evaluate_kv_point,
+    kv_sweep,
+)
+from repro.experiments.workload import (
+    KVPointConfig,
+    KVRunStats,
+    Operations,
+    WorkloadSpec,
+    generate_operations,
+    run_workload_batched,
+    run_workload_sequential,
+    zipf_pmf,
+)
 from repro.experiments.ascii_plot import render_series
 from repro.experiments.runner import (
     SweepResult,
@@ -109,6 +125,10 @@ __all__ = [
     "ChurnPoint", "MobilityPoint", "churn_sweep", "mobility_sweep",
     "MaintenancePoint", "expected_intersection", "maintenance_curves",
     "ByzPoint", "byzantine_sweep", "undefended_corrupt_bound",
+    "KVCell", "KVSweepPoint", "evaluate_kv_point", "kv_sweep",
+    "KVPointConfig", "KVRunStats", "Operations", "WorkloadSpec",
+    "generate_operations", "run_workload_batched",
+    "run_workload_sequential", "zipf_pmf",
     "QuorumLoadPoint", "quorum_load_point", "quorum_load_sweep",
     "SummaryRow", "TradeoffPoint", "lookup_tradeoff_curves",
     "render_summary", "summary_table",

@@ -28,7 +28,12 @@ from repro.faults.campaign import (
     StalenessWindow,
     load_campaign,
 )
-from repro.faults.scenario import CampaignReport, run_fault_campaign
+from repro.faults.scenario import (
+    CampaignReport,
+    KVCampaignReport,
+    run_fault_campaign,
+    run_kv_fault_campaign,
+)
 
 __all__ = [
     "BUILTIN_CAMPAIGNS",
@@ -37,6 +42,7 @@ __all__ = [
     "ByzantineRegistry",
     "CampaignReport",
     "CampaignRunner",
+    "KVCampaignReport",
     "CaptureSpec",
     "DropBurst",
     "FailureWave",
@@ -48,4 +54,5 @@ __all__ = [
     "fabricated_reply",
     "load_campaign",
     "run_fault_campaign",
+    "run_kv_fault_campaign",
 ]

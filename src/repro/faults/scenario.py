@@ -231,3 +231,179 @@ def run_fault_campaign(
         masked_lookups=masked,
         corrupt_reads=corrupt,
     )
+
+
+@dataclass
+class KVCampaignReport:
+    """A kv workload run under a fault campaign, with its history check."""
+
+    campaign: str
+    n_initial: int
+    n_final: int
+    seed: int
+    sim_time: float
+    injections_applied: int
+    stats: Any                      # KVRunStats from the workload engine
+    failures: int
+    joins: int
+    revives: int
+    lease_reclaimed: int            # lazily dropped expired entries
+    lease_ttl: float                # store's TTL at campaign end
+    masking_b: Optional[int] = None
+    watch: Optional[dict] = None
+    watch_violations: List[Any] = field(default_factory=list)
+
+    @property
+    def consistency(self) -> Any:
+        return self.stats.report
+
+    @property
+    def clean(self) -> bool:
+        return self.consistency.clean
+
+    @property
+    def watch_clean(self) -> Optional[bool]:
+        return None if self.watch is None else not self.watch_violations
+
+    def lines(self) -> list:
+        out = [
+            f"campaign {self.campaign}: n={self.n_initial}->{self.n_final} "
+            f"seed={self.seed} sim_time={self.sim_time:.4g}s "
+            f"injections={self.injections_applied}",
+            f"kv workload: ops={self.stats.ops} reads={self.stats.reads} "
+            f"writes={self.stats.writes} "
+            f"cas={self.stats.cas_successes}/{self.stats.cas_attempts}",
+            f"service: p50={self.stats.p50:.4g}s p99={self.stats.p99:.4g}s "
+            f"availability={self.stats.availability:.3f} "
+            f"stale_fraction={self.stats.stale_fraction:.4f}",
+            f"leases: ttl={self.lease_ttl:.4g}s "
+            f"reclaimed={self.lease_reclaimed}",
+            f"churn: failures={self.failures} joins={self.joins} "
+            f"revives={self.revives}",
+        ]
+        out.extend(self.consistency.lines())
+        if self.masking_b is not None:
+            out.append(f"masking: b={self.masking_b}")
+        if self.watch is not None:
+            out.append(
+                f"watch: events={self.watch.get('events', 0)} "
+                f"violations={len(self.watch_violations)} "
+                + ("CLEAN" if self.watch_clean else "VIOLATED"))
+        return out
+
+
+def run_kv_fault_campaign(
+    campaign: "FaultCampaign | str" = "smoke",
+    n: int = 100,
+    seed: int = 7,
+    n_keys: int = 10,
+    n_ops: int = 200,
+    avg_degree: float = 10.0,
+    duration: Optional[float] = None,
+    lease_ttl: Optional[float] = None,
+    min_survival: float = 0.9,
+    read_fraction: float = 0.8,
+    cas_fraction: float = 0.1,
+    zipf_s: float = 0.99,
+    epsilon: float = 0.05,
+    policy: Optional[AccessPolicy] = AccessPolicy(
+        deadline=5.0, max_retries=2),
+    watch: bool = False,
+    slo_specs: Optional[list] = None,
+    masking_b: Optional[int] = None,
+) -> KVCampaignReport:
+    """Drive the quorum kv store through a fault campaign.
+
+    The open-loop workload engine spreads ``n_ops`` over the campaign's
+    duration while the :class:`CampaignRunner` injects faults; the
+    store's :class:`~repro.services.consistency.KVHistoryChecker`
+    verifies every completed op against the per-key sequential spec.
+    ``lease_ttl=None`` runs the store in adaptive mode — the TTL is
+    re-derived from the committed churn counters before every store,
+    so lease windows shrink as the campaign turns up the churn.
+    """
+    from repro.services.consistency import KVHistoryChecker
+    from repro.services.kvstore import QuorumKVStore
+    from repro.experiments.workload import (
+        WorkloadSpec,
+        run_workload_sequential,
+    )
+
+    if isinstance(campaign, str):
+        campaign = load_campaign(campaign)
+    if duration is None:
+        duration = campaign.duration + 10.0
+
+    net = SimNetwork(NetworkConfig(n=n, avg_degree=avg_degree, seed=seed))
+    hub = None
+    if watch or slo_specs:
+        from repro.obs.watch import attach_watchers, builtin_watchers
+        # The quorum-intersection watcher's hit floor assumes stored
+        # entries answer forever; timed leases expire them on purpose,
+        # so that invariant does not apply to the kv workload.
+        watchers = (builtin_watchers(
+            n=net.n_alive,
+            names=["monotonicity", "conservation", "no-fabricated-value"])
+            if watch else [])
+        hub = attach_watchers(net, watchers=watchers, slo_specs=slo_specs)
+    if masking_b is not None:
+        from repro.analysis.intersection import masking_quorum_size
+        from repro.core.masking import MaskingStrategy
+        size = masking_quorum_size(n, epsilon, masking_b)
+        view = max(size, int(round(2.0 * math.sqrt(n))))
+        membership = RandomMembership(net, view_size=view)
+        advertise = RandomStrategy(membership).set_policy(policy)
+        lookup = MaskingStrategy(
+            RandomStrategy(membership), masking_b).set_policy(policy)
+    else:
+        size = max(1, int(round(math.sqrt(n * math.log(1.0 / epsilon)))))
+        membership = RandomMembership(net)
+        advertise = RandomStrategy(membership).set_policy(policy)
+        lookup = RandomStrategy(membership).set_policy(policy)
+    biquorum = ProbabilisticBiquorum(
+        net, advertise=advertise, lookup=lookup,
+        advertise_size=size, lookup_size=size,
+        adjust_to_network_size=False)
+    store = QuorumKVStore(
+        biquorum, lease_ttl=lease_ttl, min_survival=min_survival,
+        adaptive=(lease_ttl is None), checker=KVHistoryChecker())
+
+    runner = CampaignRunner(net, campaign,
+                            memberships=(membership,)).start()
+
+    spec = WorkloadSpec(
+        ops=n_ops, n_keys=n_keys, read_fraction=read_fraction,
+        cas_fraction=cas_fraction, zipf_s=zipf_s,
+        arrival_rate=max(n_ops / duration, 1e-9), seed=seed)
+    start = net.now
+    stats = run_workload_sequential(store, spec)
+    net.run_until(start + duration)
+
+    runner.stop()
+    membership.stop()
+    watch_result = None
+    watch_violations: List[Any] = []
+    if hub is not None:
+        hub.finish()
+        hub.detach()
+        watch_result = hub.result()
+        watch_violations = list(hub.violations)
+
+    metrics = net.metrics
+    return KVCampaignReport(
+        campaign=campaign.name,
+        n_initial=n,
+        n_final=net.n_alive,
+        seed=seed,
+        sim_time=net.now,
+        injections_applied=runner.injections_applied,
+        stats=stats,
+        failures=metrics.counter_value("churn.failures"),
+        joins=metrics.counter_value("churn.joins"),
+        revives=metrics.counter_value("churn.revives"),
+        lease_reclaimed=metrics.counter_value("kv.lease.reclaimed"),
+        lease_ttl=store.current_ttl(),
+        masking_b=masking_b,
+        watch=watch_result,
+        watch_violations=watch_violations,
+    )

@@ -110,6 +110,18 @@ class AccessAggregate:
 
 
 @dataclass
+class KvOpAggregate:
+    """Per-op rollup of ``kv-op`` serving events (schema 3)."""
+
+    count: int = 0
+    ok: int = 0
+    stale: int = 0
+    messages: int = 0
+    latency: Histogram = field(
+        default_factory=lambda: Histogram("latency"))
+
+
+@dataclass
 class TraceSummary:
     """Streaming aggregation of one JSONL trace."""
 
@@ -117,6 +129,7 @@ class TraceSummary:
     corrupt_lines: int = 0
     kind_counts: Dict[str, int] = field(default_factory=dict)
     access: Dict[str, AccessAggregate] = field(default_factory=dict)
+    kv_ops: Dict[str, KvOpAggregate] = field(default_factory=dict)
     traced_messages: int = 0         # hop + broadcast + virtual-msg counts
     traced_routing: int = 0
     replies: int = 0
@@ -160,6 +173,19 @@ class TraceSummary:
                     "min": h.min, "max": h.max,
                     "p50": h.percentile(50), "p99": h.percentile(99),
                 }
+        for op in sorted(self.kv_ops):
+            agg = self.kv_ops[op]
+            prefix = f"kv.{op}"
+            out[prefix + ".count"] = agg.count
+            out[prefix + ".ok"] = agg.ok
+            out[prefix + ".stale"] = agg.stale
+            out[prefix + ".messages"] = agg.messages
+            h = agg.latency
+            out[prefix + ".latency"] = {
+                "count": h.count, "sum": h.sum, "mean": h.mean,
+                "min": h.min, "max": h.max,
+                "p50": h.percentile(50), "p99": h.percentile(99),
+            }
         return out
 
 
@@ -204,6 +230,19 @@ def summarize_trace(source: PathOrLines) -> TraceSummary:
             action = str(event.get("action", "?"))
             summary.churn_actions[action] = (
                 summary.churn_actions.get(action, 0) + 1)
+        elif kind == "kv-op":
+            op = str(event.get("op", "?"))
+            agg_kv = summary.kv_ops.get(op)
+            if agg_kv is None:
+                agg_kv = summary.kv_ops[op] = KvOpAggregate()
+            agg_kv.count += 1
+            if event.get("ok"):
+                agg_kv.ok += 1
+            if event.get("stale"):
+                agg_kv.stale += 1
+            agg_kv.messages += int(event.get("messages", 0))
+            if "latency" in event:
+                agg_kv.latency.observe(float(event["latency"]))
         elif kind == "access-start":
             key = (event.get("strategy"), event.get("access"),
                    event.get("origin"))
@@ -286,6 +325,15 @@ def render_summary(summary: TraceSummary) -> str:
                      f"p99={_fmt(qs.percentile(99))} max={_fmt(qs.max)}")
         if agg.unmatched:
             lines.append(f"  (unpaired access-ends: {agg.unmatched})")
+    for op in sorted(summary.kv_ops):
+        agg = summary.kv_ops[op]
+        lines.append("")
+        lines.append(f"kv.{op}: count={agg.count} ok={agg.ok} "
+                     f"stale={agg.stale} messages={agg.messages}")
+        lat = agg.latency
+        lines.append(f"  latency      n={lat.count} mean={_fmt(lat.mean)} "
+                     f"p50={_fmt(lat.percentile(50))} "
+                     f"p99={_fmt(lat.percentile(99))} max={_fmt(lat.max)}")
     if summary.open_accesses:
         lines.append("")
         lines.append(f"open accesses (start without end): "

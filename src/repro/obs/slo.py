@@ -26,6 +26,14 @@ Derived metrics (from ``access-start``/``access-end`` pairs):
 * ``lookup.hit_rate`` — 1.0/0.0 per lookup from the ``found`` flag
   (use with a ``min`` threshold and no ``p``).
 
+And from ``kv-op`` serving events (the quorum key-value store):
+
+* ``kv.<op>.latency`` — per-op simulated latency (``<op>`` in ``put`` /
+  ``get`` / ``cas``);
+* ``kv.availability`` — 1.0/0.0 per get from the ``ok`` flag;
+* ``kv.stale_rate`` — 1.0/0.0 per get from the ``stale`` flag (reads
+  that returned an older-than-newest committed version).
+
 The monitor's machine-readable verdict (:meth:`SloMonitor.slo_report`)
 is written beside the run manifest by the CLI (``<trace>.verdict.json``)
 so CI can gate on it and archive it as an artifact.
@@ -243,7 +251,7 @@ class SloMonitor(Watcher):
     """
 
     name = "slo"
-    kinds = frozenset({"access-start", "access-end"})
+    kinds = frozenset({"access-start", "access-end", "kv-op"})
 
     def __init__(self, specs: Any) -> None:
         super().__init__()
@@ -265,6 +273,14 @@ class SloMonitor(Watcher):
     def on_event(self, event: TraceEvent) -> None:
         self.events_seen += 1
         f = event.fields
+        if event.kind == "kv-op":
+            op = str(f.get("op", "?"))
+            if "latency" in f:
+                self._feed(f"kv.{op}.latency", float(f["latency"]))
+            if op == "get":
+                self._feed("kv.availability", 1.0 if f.get("ok") else 0.0)
+                self._feed("kv.stale_rate", 1.0 if f.get("stale") else 0.0)
+            return
         key = (f.get("strategy"), f.get("access"), f.get("origin"))
         if event.kind == "access-start":
             self._open.setdefault(key, []).append(event.t)

@@ -44,8 +44,10 @@ DEFAULT_RETENTION = 262_144
 #: diagnosing a trace recorded under an older schema.
 #:
 #: History: 1 = PR 2-7 event set; 2 = ``key`` payload on
-#: store/probe/access-start/access-end events (live invariant watchers).
-TRACE_SCHEMA = 2
+#: store/probe/access-start/access-end events (live invariant watchers);
+#: 3 = ``kv-op`` serving events (op/key/ok/stale/version/latency) from
+#: the quorum key-value store.
+TRACE_SCHEMA = 3
 
 #: Trace close failures absorbed during GC (see ``Trace.__del__``).  The
 #: auditor is unreachable from a finalizer, so a module counter is the

@@ -1,11 +1,17 @@
 """Applications built on probabilistic biquorums: location service,
-read/write register, pub/sub, and the refresh daemon."""
+read/write register, key-value store with timed-quorum leases, pub/sub,
+and the refresh daemon."""
 
 from repro.services.consistency import (
     CheckedRegister,
     ConsistencyReport,
+    KVConsistencyReport,
+    KVHistoryChecker,
+    KVOpRecord,
     OpRecord,
+    check_kv_batch,
 )
+from repro.services.kvstore import KVOpResult, QuorumKVStore
 from repro.services.location import (
     AdvertiseReceipt,
     LocationService,
@@ -24,7 +30,13 @@ from repro.services.register import (
 __all__ = [
     "CheckedRegister",
     "ConsistencyReport",
+    "KVConsistencyReport",
+    "KVHistoryChecker",
+    "KVOpRecord",
+    "KVOpResult",
     "OpRecord",
+    "QuorumKVStore",
+    "check_kv_batch",
     "AdvertiseReceipt",
     "LocationService",
     "LookupReceipt",

@@ -1,0 +1,103 @@
+"""Golden-trace conformance for the kv serving benchmark.
+
+Same three-layer contract as ``test_golden_trace.py``, pinned on a tiny
+seeded ``repro kv`` sequential run: fixture self-consistency, byte-
+identical regeneration, and the ``obs diff --fail-on-change`` CI gate —
+plus a mutation check that flips one ``kv-op`` event and asserts the
+gate catches it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.query import diff_summaries, summarize_trace, summary_to_jsonable
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_TRACE = GOLDEN_DIR / "kv_trace.jsonl"
+GOLDEN_SUMMARY = GOLDEN_DIR / "kv_summary.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Must match the regeneration recipe in tests/golden/README.md.
+KV_ARGS = ["kv", "--kv-backend", "sequential", "--n", "30", "--keys", "4",
+           "--ops", "50", "--ttl", "30", "--rate", "20", "--reps", "1",
+           "--seed", "7"]
+
+
+def _regenerate(tmp_path: Path) -> Path:
+    trace = tmp_path / "fresh.jsonl"
+    env = {k: v for k, v in os.environ.items()
+           if not k.startswith("REPRO_")}
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_JOBS"] = "1"  # byte-stable line order
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *KV_ARGS, "--trace", str(trace)],
+        capture_output=True, text=True, env=env, cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert trace.exists()
+    return trace
+
+
+@pytest.fixture(scope="module")
+def fresh_trace(tmp_path_factory) -> Path:
+    return _regenerate(tmp_path_factory.mktemp("golden_kv"))
+
+
+def test_committed_summary_matches_committed_trace():
+    produced = summary_to_jsonable(summarize_trace(str(GOLDEN_TRACE)))
+    committed = json.loads(GOLDEN_SUMMARY.read_text())
+    assert produced == committed, (
+        "fixture drift: regenerate per tests/golden/README.md")
+
+
+def test_fixture_contains_kv_ops():
+    kinds = [json.loads(line)["kind"]
+             for line in GOLDEN_TRACE.read_text().splitlines()]
+    assert kinds.count("kv-op") == 50
+
+
+def test_regenerated_trace_is_byte_identical(fresh_trace):
+    assert fresh_trace.read_bytes() == GOLDEN_TRACE.read_bytes(), (
+        "kv event stream changed; if intentional, regenerate the fixtures")
+
+
+def test_regenerated_summary_has_no_diff(fresh_trace):
+    changes = diff_summaries(summarize_trace(str(GOLDEN_TRACE)),
+                             summarize_trace(str(fresh_trace)))
+    assert changes == []
+
+
+def test_obs_diff_gate_passes(fresh_trace):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "diff", str(GOLDEN_TRACE),
+         str(fresh_trace), "--fail-on-change"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_obs_diff_gate_detects_kv_mutation(fresh_trace, tmp_path):
+    # Flip one successful get to a miss: the gate must fail loudly.
+    lines = GOLDEN_TRACE.read_text().splitlines()
+    mutated, flipped = [], False
+    for line in lines:
+        if (not flipped and '"kind":"kv-op"' in line
+                and '"op":"get"' in line and '"ok":true' in line):
+            line = line.replace('"ok":true', '"ok":false')
+            flipped = True
+        mutated.append(line)
+    assert flipped, "golden kv trace has no successful get to flip"
+    bad = tmp_path / "mutated.jsonl"
+    bad.write_text("\n".join(mutated) + "\n")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "diff", str(GOLDEN_TRACE),
+         str(bad), "--fail-on-change"],
+        capture_output=True, text=True, env=env)
+    assert proc.returncode != 0

@@ -150,3 +150,86 @@ class TestLemma52MixAndMatch:
             _hypergeometric_miss(5, 7, 40))
         assert miss_probability_exact(7, 5, 40) == pytest.approx(
             _hypergeometric_miss(5, 7, 40))  # symmetric in qa/ql
+
+
+from repro.analysis.leases import (  # noqa: E402
+    lease_survival_probability,
+    lease_ttl_for_churn,
+    min_survival_for_epsilon,
+    stale_read_probability_bound,
+    stale_read_probability_exact,
+)
+
+
+class TestTimedLeases:
+    """The timed-quorum lease analysis composed with Lemma 5.2."""
+
+    @given(n=st.integers(8, 300), qa_frac=st.floats(0.05, 0.6),
+           ql_frac=st.floats(0.05, 0.6), survival=st.floats(0.0, 1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_bound_dominates_exact(self, n, qa_frac, ql_frac, survival):
+        qa = max(1, int(qa_frac * n))
+        ql = max(1, int(ql_frac * n))
+        exact = stale_read_probability_exact(qa, ql, n, survival)
+        bound = stale_read_probability_bound(qa, ql, n, survival)
+        assert exact <= bound + 1e-9
+
+    @given(n=st.integers(8, 300), qa_frac=st.floats(0.05, 0.6),
+           ql_frac=st.floats(0.05, 0.6))
+    @settings(max_examples=100, deadline=None)
+    def test_full_survival_reduces_to_lemma_52(self, n, qa_frac, ql_frac):
+        # Infinite TTL and no churn (survival = 1) collapse the lease
+        # model onto the plain biquorum: the exact form becomes the
+        # hypergeometric miss, the bound becomes exp(-qa*ql/n).
+        qa = max(1, int(qa_frac * n))
+        ql = max(1, int(ql_frac * n))
+        assert stale_read_probability_exact(qa, ql, n, 1.0) == \
+            pytest.approx(miss_probability_exact(qa, ql, n))
+        assert stale_read_probability_bound(qa, ql, n, 1.0) == \
+            pytest.approx(math.exp(-qa * ql / n))
+
+    @given(n=st.integers(8, 300), qa_frac=st.floats(0.05, 0.6),
+           ql_frac=st.floats(0.05, 0.6),
+           lo=st.floats(0.0, 1.0), hi=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_stale_probability_monotone_in_survival(self, n, qa_frac,
+                                                    ql_frac, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        qa = max(1, int(qa_frac * n))
+        ql = max(1, int(ql_frac * n))
+        assert (stale_read_probability_exact(qa, ql, n, hi)
+                <= stale_read_probability_exact(qa, ql, n, lo) + 1e-9)
+        assert (stale_read_probability_bound(qa, ql, n, hi)
+                <= stale_read_probability_bound(qa, ql, n, lo) + 1e-12)
+
+    @given(rate=st.floats(1e-5, 1.0), survival=st.floats(0.5, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_ttl_inversion_honours_survival_floor(self, rate, survival):
+        # Any age inside the derived lease keeps holder survival at or
+        # above the floor (when the clamp didn't truncate the inversion).
+        ttl = lease_ttl_for_churn(rate, survival, min_ttl=1e-9,
+                                  max_ttl=1e12)
+        age = ttl * 0.999999
+        assert lease_survival_probability(age, rate, ttl) >= \
+            survival - 1e-7
+
+    @given(lo_rate=st.floats(1e-4, 1.0), factor=st.floats(1.0, 100.0),
+           survival=st.floats(0.5, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_ttl_monotone_in_churn(self, lo_rate, factor, survival):
+        kw = dict(min_ttl=1e-9, max_ttl=1e12)
+        assert (lease_ttl_for_churn(lo_rate * factor, survival, **kw)
+                <= lease_ttl_for_churn(lo_rate, survival, **kw) + 1e-12)
+
+    @given(n=st.integers(8, 300), qa_frac=st.floats(0.1, 0.6),
+           ql_frac=st.floats(0.1, 0.6), eps=st.floats(0.01, 0.5))
+    @settings(max_examples=120, deadline=None)
+    def test_min_survival_meets_epsilon(self, n, qa_frac, ql_frac, eps):
+        qa = max(1, int(qa_frac * n))
+        ql = max(1, int(ql_frac * n))
+        p = min_survival_for_epsilon(qa, ql, n, eps)
+        assert 0.0 <= p <= 1.0
+        if p < 1.0:  # feasible: the bound at p must clear eps
+            assert stale_read_probability_bound(qa, ql, n, p) <= \
+                eps + 1e-9
